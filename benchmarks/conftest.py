@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures at a scaled size
+(paper bytes / REPRO_SCALE, default 512). Results are printed as
+paper-shaped tables; assertions check the qualitative claims (who wins,
+by roughly what factor, where the knees fall) rather than absolute
+numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+    REPRO_SCALE=256 pytest benchmarks/ --benchmark-only -s   # bigger runs
+"""
+
+import os
+
+import pytest
+
+from repro.harness import Scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return Scale(int(os.environ.get("REPRO_SCALE", "512")))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,43 @@
+"""Fig 4: FIO random-write-intensive, ideal case (log never saturates).
+
+Paper results the shape assertions encode:
+
+- throughput: NVCACHE+SSD (~493) > NOVA (~403) > DM-WriteCache >
+  Ext4-DAX > SSD [MiB/s];
+- completion time: NVCACHE 42 s < NOVA 51 s < DM-WC 71 s < Ext4-DAX
+  2 min 29 s < SSD >22 min;
+- NVCACHE's instantaneous throughput stays flat (no saturation).
+"""
+
+from repro.harness import (
+    fig4_comparative_behavior,
+    format_fio_comparison,
+    saturation_point,
+)
+from repro.units import MIB
+
+from .conftest import run_once
+
+
+def test_fig4(benchmark, scale):
+    results = run_once(benchmark, fig4_comparative_behavior, scale)
+    print()
+    print(format_fio_comparison(
+        results, f"Fig 4 - ideal case (sizes = paper/{scale.factor})"))
+
+    bw = {name: result.write_bandwidth for name, result in results.items()}
+    # Ordering (the paper's headline).
+    assert bw["nvcache+ssd"] > bw["nova"] > bw["dm-writecache+ssd"] \
+        > bw["ext4-dax"] > bw["ssd"]
+    # Rough magnitudes (rates are scale-independent).
+    assert 380 * MIB < bw["nvcache+ssd"] < 700 * MIB
+    assert 300 * MIB < bw["nova"] < 520 * MIB
+    assert bw["ssd"] < 25 * MIB
+    # Completion-time ordering follows from equal written bytes.
+    times = {name: result.elapsed for name, result in results.items()}
+    assert times["nvcache+ssd"] < times["nova"] < times["dm-writecache+ssd"] \
+        < times["ext4-dax"] < times["ssd"]
+    # NVCACHE's 32 GiB(scaled) log never saturates in this run.
+    assert saturation_point(results["nvcache+ssd"]) is None
+    # SSD takes an order of magnitude (paper: ~31x) longer than NVCACHE.
+    assert times["ssd"] > 10 * times["nvcache+ssd"]

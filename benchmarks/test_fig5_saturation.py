@@ -1,0 +1,58 @@
+"""Fig 5: log-saturation behaviour with shrinking NVMM logs.
+
+Paper results the shape assertions encode:
+
+- with the 32 GiB log the run never saturates (flat NVMM-speed curve);
+- smaller logs saturate — earlier the smaller the log — and after the
+  knee the throughput collapses to the SSD drain rate (~80 MiB/s),
+  *identical for every saturated log size*;
+- average latency degrades after the knee.
+"""
+
+from repro.harness import (
+    fig5_log_saturation,
+    format_fio_comparison,
+    saturation_point,
+)
+from repro.units import MIB
+
+from .conftest import run_once
+
+
+def test_fig5(benchmark, scale):
+    results = run_once(benchmark, fig5_log_saturation, scale)
+    print()
+    print(format_fio_comparison(
+        results, f"Fig 5 - log saturation (sizes = paper/{scale.factor})"))
+
+    labels = list(results)
+    small, mid, big, ideal = labels  # 100 MiB, 1 GiB, 8 GiB, 32 GiB (paper)
+
+    # The 32 GiB log never saturates and runs at NVMM speed.
+    assert saturation_point(results[ideal]) is None
+    assert results[ideal].write_bandwidth > 380 * MIB
+
+    # Smaller logs saturate: 8 GiB somewhere mid-run.
+    knee_big = saturation_point(results[big])
+    assert knee_big is not None
+    assert 0.05 * results[big].elapsed < knee_big < 0.9 * results[big].elapsed
+
+    # Saturated runs converge towards the SSD drain rate; ordering holds.
+    assert (results[small].write_bandwidth
+            < results[mid].write_bandwidth
+            < results[big].write_bandwidth
+            < results[ideal].write_bandwidth)
+    for label in (small, mid):
+        tail_bw = _tail_bandwidth(results[label])
+        assert 20 * MIB < tail_bw < 110 * MIB, (label, tail_bw / MIB)
+
+    # Latency degrades once saturated (paper Fig 5 middle).
+    assert (results[small].mean_write_latency
+            > results[ideal].mean_write_latency * 3)
+
+
+def _tail_bandwidth(result):
+    """Average throughput over the last half of the run."""
+    series = result.series(interval=result.elapsed / 20)
+    tail = series.write_throughput[len(series.write_throughput) // 2:]
+    return sum(tail) / len(tail)

@@ -1,0 +1,41 @@
+"""Fig 6: influence of the cleanup thread's batch size (8 GiB-paper log,
+which saturates mid-run).
+
+Paper results the shape assertions encode:
+
+- before saturation the batch size does not matter (NVMM-speed phase);
+- after saturation, batch=1 collapses to ~21 MiB/s (an fsync per entry
+  is worse than O_DIRECT on the raw SSD);
+- batches >= 100 converge near the SSD drain rate and differ little
+  from each other (write combining + amortized fsync).
+"""
+
+from repro.harness import fig6_batching, format_fio_comparison
+from repro.units import MIB
+
+from .conftest import run_once
+
+
+def test_fig6(benchmark, scale):
+    results = run_once(benchmark, fig6_batching, scale)
+    print()
+    print(format_fio_comparison(
+        results, f"Fig 6 - batching (sizes = paper/{scale.factor})"))
+
+    bw = {label: result.write_bandwidth for label, result in results.items()}
+
+    # batch=1 is by far the worst.
+    assert bw["batch=1"] < 0.5 * bw["batch=100"]
+    # The paper's 21 MiB/s order of magnitude.
+    assert bw["batch=1"] < 35 * MIB
+    # Larger batches improve, but with diminishing returns: 100 vs 1000
+    # vs 5000 stay within a modest band of each other.
+    assert bw["batch=100"] < bw["batch=1000"] * 1.6
+    assert bw["batch=1000"] < bw["batch=5000"] * 1.6
+    assert bw["batch=5000"] < bw["batch=100"] * 2.5
+
+    # Pre-saturation phase is batch-independent: initial throughput of
+    # every run is NVMM-speed.
+    for label, result in results.items():
+        series = result.series(interval=result.elapsed / 30)
+        assert series.write_throughput[0] > 250 * MIB, label

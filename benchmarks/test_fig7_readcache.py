@@ -1,0 +1,35 @@
+"""Fig 7: the size of NVCACHE's read cache does not matter.
+
+Paper result: with a 50/50 random read/write FIO load, growing the read
+cache from 100 entries to 1 M entries (hit rate ~0% to ~40%) leaves both
+read and write throughput unchanged — the kernel page cache already
+serves the hot set; NVCache's cache exists only for correctness on dirty
+reads.
+"""
+
+from repro.harness import fig7_read_cache_size, format_table, mib_per_s
+
+from .conftest import run_once
+
+
+def test_fig7(benchmark, scale):
+    results = run_once(benchmark, fig7_read_cache_size, scale)
+    rows = []
+    for label, result in results.items():
+        rows.append([
+            label,
+            mib_per_s(result.write_bandwidth),
+            mib_per_s(result.read_bandwidth),
+            f"{result.mean_write_latency * 1e6:.1f} us",
+            f"{result.mean_read_latency * 1e6:.1f} us",
+        ])
+    print()
+    print(format_table(
+        ["read cache", "write bw", "read bw", "write lat", "read lat"],
+        rows, title=f"Fig 7 - read cache size (sizes = paper/{scale.factor})"))
+
+    writes = [result.write_bandwidth for result in results.values()]
+    reads = [result.read_bandwidth for result in results.values()]
+    # The paper's claim: size changes performance by (nearly) nothing.
+    assert max(writes) < 1.35 * min(writes)
+    assert max(reads) < 1.35 * min(reads)

@@ -1,0 +1,128 @@
+"""Table I: qualitative property matrix of the NVMM systems.
+
+This 'benchmark' verifies the paper's positioning claims *behaviourally*
+where the simulation can: capacity limits, synchronous durability, and
+durable linearizability are checked by running the stacks, not just
+asserted from a table.
+"""
+
+import pytest
+
+from repro.harness import PROPERTY_MATRIX, Scale, build_stack, format_table
+from repro.kernel import KernelError, O_CREAT, O_WRONLY
+from repro.kernel.errno import ENOSPC
+from repro.units import KIB, MIB
+
+from .conftest import run_once
+
+TINY = Scale(65536)  # tiny NVMM so capacity limits are cheap to hit
+
+
+def print_table1():
+    headers = ["system", "large storage", "sync durability",
+               "durable linearizability", "legacy fs", "stock kernel",
+               "legacy kernel API"]
+    rows = [[name, row["large_storage"], row["sync_durability"],
+             row["durable_linearizability"], row["legacy_fs"],
+             row["stock_kernel"], row["legacy_kernel_api"]]
+            for name, row in PROPERTY_MATRIX.items()]
+    print()
+    print(format_table(headers, rows, title="Table I - property matrix"))
+    return PROPERTY_MATRIX
+
+
+def test_table1_matrix(benchmark):
+    matrix = run_once(benchmark, print_table1)
+    flawless = [name for name, row in matrix.items()
+                if all(value.startswith("+") for value in row.values())]
+    assert flawless == ["nvcache"]
+
+
+def _fill_until_enospc(stack, limit_writes=100_000):
+    """Writes 4 KiB blocks until ENOSPC or the limit; returns count."""
+
+    def body():
+        fd = yield from stack.libc.open("/cap", O_CREAT | O_WRONLY)
+        written = 0
+        try:
+            for i in range(limit_writes):
+                yield from stack.libc.pwrite(fd, b"c" * 4096, i * 4096)
+                written += 1
+        except KernelError as exc:
+            if exc.errno != ENOSPC:
+                raise
+        return written
+
+    return stack.env.run_process(body())
+
+
+def test_nvmm_filesystems_capacity_limited(benchmark):
+    """Table I row 'large storage': NOVA and Ext4-DAX stop at the NVMM
+    size; NVCACHE+SSD keeps going far beyond it (the log wraps)."""
+
+    def experiment():
+        results = {}
+        for name in ("nova", "ext4-dax"):
+            stack = build_stack(name, TINY)
+            results[name] = _fill_until_enospc(stack, limit_writes=5000)
+        nv_stack = build_stack("nvcache+ssd", TINY)
+        results["nvcache+ssd"] = _fill_until_enospc(nv_stack, limit_writes=5000)
+        return results
+
+    results = run_once(benchmark, experiment)
+    nvmm_capacity_pages = TINY.nvmm_module_bytes // 4096
+    assert results["nova"] <= nvmm_capacity_pages
+    assert results["ext4-dax"] <= nvmm_capacity_pages
+    # NVCache's working set is NOT limited by its (much smaller) NVMM log.
+    assert results["nvcache+ssd"] == 5000
+    print(f"\ncapacity before ENOSPC (4 KiB writes): {results}"
+          f" (NVMM module holds {nvmm_capacity_pages} pages)")
+
+
+def test_synchronous_durability_behavioural(benchmark):
+    """Table I row 'sync durability': after a crash right after write()
+    returns, NVCACHE and NOVA keep the data; plain Ext4/SSD (no O_SYNC)
+    and tmpfs lose it."""
+
+    def experiment():
+        outcome = {}
+        for name in ("nvcache+ssd", "nova", "ssd", "tmpfs"):
+            stack = build_stack(name, TINY)
+
+            def body():
+                fd = yield from stack.libc.open("/d", O_CREAT | O_WRONLY)
+                yield from stack.libc.pwrite(fd, b"precious", 0)
+
+            stack.env.run_process(body())
+            # Power loss:
+            stack.kernel.crash()
+            for device in stack.devices.values():
+                if hasattr(device, "crash"):
+                    device.crash()
+            if name == "tmpfs":
+                fs = stack.kernel.vfs.filesystems()[0]
+                fs.crash()
+            if stack.nvcache is not None:
+                durable = (stack.nvcache.log.is_committed(0)
+                           and stack.nvcache.log.read_data(0) == b"precious")
+            else:
+                fs = stack.kernel.vfs.filesystems()[0]
+
+                def check():
+                    try:
+                        fd = yield from stack.kernel.open("/d")
+                    except KernelError:
+                        return False
+                    data = yield from stack.kernel.pread(fd, 8, 0)
+                    return data == b"precious"
+
+                durable = stack.env.run_process(check())
+            outcome[name] = durable
+        return outcome
+
+    outcome = run_once(benchmark, experiment)
+    print(f"\nwrite survives crash-after-return: {outcome}")
+    assert outcome["nvcache+ssd"] is True
+    assert outcome["nova"] is True
+    assert outcome["ssd"] is False   # still in the volatile page cache
+    assert outcome["tmpfs"] is False

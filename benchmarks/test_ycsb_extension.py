@@ -1,0 +1,70 @@
+"""YCSB extension benchmark (beyond the paper): skewed cloud-serving
+workloads across the key stacks.
+
+Expected shapes, derived from the paper's findings:
+
+- update-heavy A: NVCACHE+SSD beats the sync-durability competitors with
+  large storage (DM-WriteCache, raw SSD);
+- read-mostly B and read-only C: the stacks converge (kernel page cache
+  plus NVCache's read cache serve the Zipfian hot set);
+- the hot set being Zipfian, NVCache's read hit rate is high even with a
+  small cache — reinforcing the paper's Fig 7 conclusion.
+"""
+
+import pytest
+
+from repro.apps import KVOptions, MiniRocks
+from repro.harness import Scale, build_stack, format_table
+from repro.units import KIB
+from repro.workloads import YcsbWorkload
+
+from .conftest import run_once
+
+SYSTEMS = ("nvcache+ssd", "dm-writecache+ssd", "nova", "ssd")
+
+
+def run_ycsb(stack, workload, records=400, operations=1500):
+    out = {}
+
+    def body():
+        db = yield from MiniRocks.open(
+            stack.libc, "/ycsb",
+            KVOptions(sync=True, memtable_bytes=64 * KIB))
+        ycsb = YcsbWorkload(stack.env, db, records=records,
+                            operations=operations)
+        yield from ycsb.load()
+        yield from stack.settle()
+        out["result"] = yield from ycsb.run(workload)
+        yield from db.close()
+        yield from stack.teardown()
+
+    stack.env.run_process(body(), name="ycsb")
+    return out["result"]
+
+
+def test_ycsb_suite(benchmark, scale):
+    def experiment():
+        table = {}
+        for workload in ("A", "B", "C"):
+            table[workload] = {}
+            for system in SYSTEMS:
+                stack = build_stack(system, scale)
+                table[workload][system] = run_ycsb(stack, workload)
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = []
+    for workload, per_system in table.items():
+        rows.append([workload] + [f"{r.ops_per_second:,.0f}"
+                                  for r in per_system.values()])
+    print()
+    print(format_table(["workload"] + list(SYSTEMS), rows,
+                       title="YCSB A/B/C (ops/s) - extension benchmark"))
+
+    a = {s: r.ops_per_second for s, r in table["A"].items()}
+    c = {s: r.ops_per_second for s, r in table["C"].items()}
+    # Update-heavy: NVCACHE ahead of the other large-storage stacks.
+    assert a["nvcache+ssd"] > a["dm-writecache+ssd"]
+    assert a["nvcache+ssd"] > 3 * a["ssd"]
+    # Read-only: everything converges into one band.
+    assert max(c.values()) < 4 * min(c.values())

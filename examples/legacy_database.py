@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Legacy-application demo: the *same* database code runs unmodified on
+stock libc and on NVCache's libc — the paper's plug-and-play claim — and
+the synchronous-transaction workload gets dramatically faster.
+
+Run with::
+
+    python examples/legacy_database.py
+"""
+
+from repro.apps import MiniSqlite
+from repro.harness import Scale, build_stack
+from repro.units import fmt_time
+
+TRANSACTIONS = 200
+
+
+def run_transactions(stack):
+    """The 'legacy application': it only knows about the libc handed to
+    it; it cannot tell whether NVCache is underneath."""
+
+    def body():
+        db = yield from MiniSqlite.open(stack.libc, "/accounts.db")
+        start = stack.env.now
+        for i in range(TRANSACTIONS):
+            # One synchronous transaction per transfer: journal write +
+            # fsync + db write + fsync + journal delete.
+            yield from db.insert(f"account-{i % 50:04d}".encode(),
+                                 f"balance={i * 10}".encode())
+        elapsed = stack.env.now - start
+        balance = yield from db.select(b"account-0001")
+        yield from db.close()
+        yield from stack.teardown()
+        return elapsed, balance
+
+    return stack.env.run_process(body())
+
+
+def main():
+    scale = Scale(4096)
+    print(f"{TRANSACTIONS} synchronous transactions on each stack:\n")
+    print(f"{'stack':20s} {'total':>12s} {'per txn':>12s} {'speedup':>9s}")
+    baseline = None
+    for name in ("ssd", "dm-writecache+ssd", "ext4-dax", "nova",
+                 "nvcache+ssd", "tmpfs"):
+        stack = build_stack(name, scale)
+        elapsed, balance = run_transactions(stack)
+        assert balance is not None
+        if baseline is None:
+            baseline = elapsed
+        print(f"{name:20s} {fmt_time(elapsed):>12s} "
+              f"{elapsed / TRANSACTIONS * 1e6:>9.0f} us "
+              f"{baseline / elapsed:>8.1f}x")
+    print("\nNVCache gives the legacy database synchronous durability at "
+          "a fraction of the SSD's cost,\nwithout touching its code.")
+
+
+if __name__ == "__main__":
+    main()

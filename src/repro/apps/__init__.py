@@ -1,0 +1,6 @@
+"""Legacy applications run over the libc facade (paper §IV workloads)."""
+
+from .kvstore import KVOptions, MiniRocks
+from .sqldb import MiniSqlite
+
+__all__ = ["MiniRocks", "KVOptions", "MiniSqlite"]

@@ -1,0 +1,10 @@
+"""MiniRocks: LSM key/value store (RocksDB stand-in)."""
+
+from .bloom import BloomFilter
+from .db import KVOptions, KVStats, MiniRocks
+from .memtable import Memtable
+from .sstable import SSTable, SSTableWriter
+from .wal import WriteAheadLog
+
+__all__ = ["MiniRocks", "KVOptions", "KVStats", "Memtable", "SSTable",
+           "SSTableWriter", "WriteAheadLog", "BloomFilter"]

@@ -1,0 +1,50 @@
+"""Bloom filters for SSTables (RocksDB uses ~10 bits/key by default)."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def _hashes(key: bytes, count: int, bits: int):
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:], "little") | 1
+    for i in range(count):
+        yield (h1 + i * h2) % bits
+
+
+class BloomFilter:
+    """Fixed-size bloom filter serializable to bytes."""
+
+    HASHES = 7
+
+    def __init__(self, bits: int, data: bytearray = None):
+        if bits <= 0:
+            raise ValueError("bloom filter needs at least one bit")
+        # Round up to a whole byte so serialization preserves the modulus.
+        self.bits = ((bits + 7) // 8) * 8
+        self.data = data if data is not None else bytearray(self.bits // 8)
+
+    @classmethod
+    def build(cls, keys: Iterable[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        keys = list(keys)
+        bloom = cls(max(64, len(keys) * bits_per_key))
+        for key in keys:
+            bloom.add(key)
+        return bloom
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BloomFilter":
+        return cls(len(raw) * 8, bytearray(raw))
+
+    def add(self, key: bytes) -> None:
+        for bit in _hashes(key, self.HASHES, self.bits):
+            self.data[bit >> 3] |= 1 << (bit & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        return all(self.data[bit >> 3] & (1 << (bit & 7))
+                   for bit in _hashes(key, self.HASHES, self.bits))
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.data)

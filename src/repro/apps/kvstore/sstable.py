@@ -1,0 +1,180 @@
+"""Sorted string tables: the immutable on-disk runs of the LSM store.
+
+File format::
+
+    data block:   repeated  u32 key_len | u32 value_len(-1 = tombstone) | key | value
+    index block:  repeated  u32 key_len | key | u64 offset   (one per restart interval)
+    bloom block:  serialized bloom filter (~10 bits/key)
+    footer:       u64 index_offset | u64 index_size | u64 bloom_offset |
+                  u64 bloom_size | u32 entry_count | u64 magic
+
+Readers keep the sparse index and the bloom filter in memory,
+binary-search the index, and scan one restart interval — the shape of a
+LevelDB/RocksDB table reader.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Optional, Tuple
+
+from ...kernel.fd_table import O_CREAT, O_RDONLY, O_WRONLY
+from .bloom import BloomFilter
+
+_ENTRY = struct.Struct("<Ii")
+_INDEX = struct.Struct("<I")
+_FOOTER = struct.Struct("<QQQQIQ")
+MAGIC = 0x4E56435353544142  # "NVCSSTAB"
+RESTART_INTERVAL = 16
+TOMBSTONE_LEN = -1
+
+
+class SSTableWriter:
+    """Builds one table from sorted items."""
+
+    def __init__(self, libc, path: str):
+        self.libc = libc
+        self.path = path
+
+    def write(self, items: List[Tuple[bytes, Optional[bytes]]]) -> Generator:
+        """items must be sorted by key. Returns the entry count."""
+        fd = yield from self.libc.open(self.path, O_CREAT | O_WRONLY)
+        buffer = bytearray()
+        index: List[Tuple[bytes, int]] = []
+        for position, (key, value) in enumerate(items):
+            if position % RESTART_INTERVAL == 0:
+                index.append((key, len(buffer)))
+            value_len = TOMBSTONE_LEN if value is None else len(value)
+            buffer += _ENTRY.pack(len(key), value_len)
+            buffer += key
+            if value is not None:
+                buffer += value
+        index_offset = len(buffer)
+        for key, offset in index:
+            buffer += _INDEX.pack(len(key)) + key + struct.pack("<Q", offset)
+        index_size = len(buffer) - index_offset
+        bloom = BloomFilter.build((key for key, _value in items))
+        bloom_offset = len(buffer)
+        bloom_bytes = bloom.to_bytes()
+        buffer += bloom_bytes
+        buffer += _FOOTER.pack(index_offset, index_size, bloom_offset,
+                               len(bloom_bytes), len(items), MAGIC)
+        # Stream the table out in block-sized writes (as RocksDB's
+        # table builder does), not one giant write.
+        CHUNK = 128 * 1024
+        for position in range(0, len(buffer), CHUNK):
+            yield from self.libc.write(fd, bytes(buffer[position:position + CHUNK]))
+        yield from self.libc.fsync(fd)
+        yield from self.libc.close(fd)
+        return len(items)
+
+
+class SSTable:
+    """Reader over one table file."""
+
+    def __init__(self, libc, path: str):
+        self.libc = libc
+        self.path = path
+        self.fd: Optional[int] = None
+        self.entry_count = 0
+        self._index: List[Tuple[bytes, int]] = []
+        self._index_offset = 0
+        self.bloom: Optional[BloomFilter] = None
+        self.smallest: Optional[bytes] = None
+        self.largest: Optional[bytes] = None
+
+    def open(self) -> Generator:
+        self.fd = yield from self.libc.open(self.path, O_RDONLY)
+        st = yield from self.libc.fstat(self.fd)
+        footer = yield from self.libc.pread(self.fd, _FOOTER.size,
+                                            st.st_size - _FOOTER.size)
+        (index_offset, index_size, bloom_offset, bloom_size,
+         entry_count, magic) = _FOOTER.unpack(footer)
+        if magic != MAGIC:
+            raise IOError(f"{self.path}: bad sstable magic {magic:#x}")
+        self.entry_count = entry_count
+        self._index_offset = index_offset
+        if bloom_size:
+            bloom_raw = yield from self.libc.pread(self.fd, bloom_size, bloom_offset)
+            self.bloom = BloomFilter.from_bytes(bloom_raw)
+        raw = yield from self.libc.pread(self.fd, index_size, index_offset)
+        position = 0
+        while position < len(raw):
+            (key_len,) = _INDEX.unpack_from(raw, position)
+            position += _INDEX.size
+            key = bytes(raw[position:position + key_len])
+            position += key_len
+            (offset,) = struct.unpack_from("<Q", raw, position)
+            position += 8
+            self._index.append((key, offset))
+        if self._index:
+            self.smallest = self._index[0][0]
+            # The largest key needs the final interval; read it lazily via
+            # a full interval scan on demand. For compaction planning the
+            # first key of the last interval is a safe lower bound.
+            self.largest = self._index[-1][0]
+
+    def close(self) -> Generator:
+        if self.fd is not None:
+            yield from self.libc.close(self.fd)
+            self.fd = None
+
+    def _interval_for(self, key: bytes) -> Optional[Tuple[int, int]]:
+        """(start, end) byte range of the restart interval covering key."""
+        if not self._index or key < self._index[0][0]:
+            return None
+        low, high = 0, len(self._index) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._index[mid][0] <= key:
+                low = mid
+            else:
+                high = mid - 1
+        start = self._index[low][1]
+        end = (self._index[low + 1][1] if low + 1 < len(self._index)
+               else self._index_offset)
+        return start, end
+
+    def get(self, key: bytes) -> Generator:
+        """(found, value) — found with value None means a tombstone."""
+        if self.bloom is not None and not self.bloom.may_contain(key):
+            return False, None
+        span = self._interval_for(key)
+        if span is None:
+            return False, None
+        start, end = span
+        raw = yield from self.libc.pread(self.fd, end - start, start)
+        position = 0
+        while position < len(raw):
+            key_len, value_len = _ENTRY.unpack_from(raw, position)
+            position += _ENTRY.size
+            current = bytes(raw[position:position + key_len])
+            position += key_len
+            if value_len == TOMBSTONE_LEN:
+                value = None
+            else:
+                value = bytes(raw[position:position + value_len])
+                position += value_len
+            if current == key:
+                return True, value
+            if current > key:
+                return False, None
+        return False, None
+
+    def scan_all(self) -> Generator:
+        """All (key, value) pairs in order (used by compaction)."""
+        raw = yield from self.libc.pread(self.fd, self._index_offset, 0)
+        items: List[Tuple[bytes, Optional[bytes]]] = []
+        position = 0
+        while position < len(raw):
+            key_len, value_len = _ENTRY.unpack_from(raw, position)
+            position += _ENTRY.size
+            key = bytes(raw[position:position + key_len])
+            position += key_len
+            if value_len == TOMBSTONE_LEN:
+                value = None
+            else:
+                value = bytes(raw[position:position + value_len])
+                position += value_len
+            items.append((key, value))
+        return items

@@ -1,0 +1,8 @@
+"""MiniSqlite: journaled B-tree store (SQLite stand-in)."""
+
+from .btree import BTree
+from .db import MiniSqlite, SqlStats
+from .pager import PAGE_SIZE, Pager
+from .wal_mode import WalPager
+
+__all__ = ["MiniSqlite", "SqlStats", "BTree", "Pager", "WalPager", "PAGE_SIZE"]

@@ -1,0 +1,263 @@
+"""B+tree over pager pages: the storage engine of the SQLite stand-in.
+
+Node serialization (one 4 KiB page each):
+
+    leaf:     u8 1 | u16 n | n * (u16 key_len | u16 value_len | key | value)
+    internal: u8 2 | u16 n | u32 child_0 | n * (u16 key_len | key | u32 child)
+
+Internal separators follow the usual B+tree rule: keys < sep go left.
+Deletes are lazy (no rebalancing) — matching SQLite's behaviour of
+leaving free space in pages rather than merging aggressively.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Optional, Tuple
+
+from .pager import PAGE_SIZE, Pager
+
+LEAF = 1
+INTERNAL = 2
+_NODE_HEADER = struct.Struct("<BH")
+_LEAF_CELL = struct.Struct("<HH")
+_INT_CELL = struct.Struct("<H")
+_CHILD = struct.Struct("<I")
+
+# Conservative payload budget; a node larger than this must split.
+SPLIT_THRESHOLD = PAGE_SIZE - 64
+MAX_VALUE = 1800  # keep any two cells well under a page
+
+
+class _Node:
+    __slots__ = ("kind", "keys", "values", "children")
+
+    def __init__(self, kind: int):
+        self.kind = kind
+        self.keys: List[bytes] = []
+        self.values: List[bytes] = []      # leaf only
+        self.children: List[int] = []      # internal only (len(keys)+1)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(_NODE_HEADER.pack(self.kind, len(self.keys)))
+        if self.kind == LEAF:
+            for key, value in zip(self.keys, self.values):
+                out += _LEAF_CELL.pack(len(key), len(value))
+                out += key
+                out += value
+        else:
+            out += _CHILD.pack(self.children[0])
+            for key, child in zip(self.keys, self.children[1:]):
+                out += _INT_CELL.pack(len(key))
+                out += key
+                out += _CHILD.pack(child)
+        if len(out) > PAGE_SIZE:
+            raise ValueError(f"node overflow: {len(out)} bytes")
+        return bytes(out) + b"\x00" * (PAGE_SIZE - len(out))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "_Node":
+        kind, count = _NODE_HEADER.unpack_from(raw, 0)
+        node = cls(kind)
+        position = _NODE_HEADER.size
+        if kind == LEAF:
+            for _ in range(count):
+                key_len, value_len = _LEAF_CELL.unpack_from(raw, position)
+                position += _LEAF_CELL.size
+                node.keys.append(bytes(raw[position:position + key_len]))
+                position += key_len
+                node.values.append(bytes(raw[position:position + value_len]))
+                position += value_len
+        elif kind == INTERNAL:
+            (child,) = _CHILD.unpack_from(raw, position)
+            position += _CHILD.size
+            node.children.append(child)
+            for _ in range(count):
+                (key_len,) = _INT_CELL.unpack_from(raw, position)
+                position += _INT_CELL.size
+                node.keys.append(bytes(raw[position:position + key_len]))
+                position += key_len
+                (child,) = _CHILD.unpack_from(raw, position)
+                position += _CHILD.size
+                node.children.append(child)
+        else:
+            raise IOError(f"corrupt node kind {kind}")
+        return node
+
+    def size_estimate(self) -> int:
+        total = _NODE_HEADER.size
+        if self.kind == LEAF:
+            for key, value in zip(self.keys, self.values):
+                total += _LEAF_CELL.size + len(key) + len(value)
+        else:
+            total += _CHILD.size
+            for key in self.keys:
+                total += _INT_CELL.size + len(key) + _CHILD.size
+        return total
+
+    @staticmethod
+    def _bisect(keys: List[bytes], key: bytes) -> int:
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] < key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+
+class BTree:
+    """B+tree bound to a pager; all mutations happen inside the pager's
+    current transaction."""
+
+    def __init__(self, pager: Pager):
+        self.pager = pager
+
+    # -- helpers -------------------------------------------------------------
+
+    def _load(self, page: int) -> Generator:
+        raw = yield from self.pager.read_page(page)
+        return _Node.from_bytes(raw)
+
+    def _store(self, page: int, node: _Node) -> Generator:
+        yield from self.pager.write_page(page, node.to_bytes())
+
+    def _ensure_root(self) -> Generator:
+        if self.pager.root_page == 0:
+            page = self.pager.allocate_page()
+            yield from self._store(page, _Node(LEAF))
+            self.pager.root_page = page
+        return self.pager.root_page
+
+    # -- public API -------------------------------------------------------------
+
+    def get(self, key: bytes) -> Generator:
+        if self.pager.root_page == 0:
+            return None
+        page = self.pager.root_page
+        while True:
+            node = yield from self._load(page)
+            if node.kind == LEAF:
+                index = _Node._bisect(node.keys, key)
+                if index < len(node.keys) and node.keys[index] == key:
+                    return node.values[index]
+                return None
+            index = _Node._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                index += 1  # equal keys go right of the separator
+            page = node.children[index]
+
+    def insert(self, key: bytes, value: bytes) -> Generator:
+        if len(value) > MAX_VALUE or len(key) > 512:
+            raise ValueError("key/value too large for this B-tree layout")
+        root = yield from self._ensure_root()
+        split = yield from self._insert_into(root, key, value)
+        if split is not None:
+            separator, right_page = split
+            new_root = _Node(INTERNAL)
+            new_root.keys = [separator]
+            new_root.children = [root, right_page]
+            page = self.pager.allocate_page()
+            yield from self._store(page, new_root)
+            self.pager.root_page = page
+
+    def _insert_into(self, page: int, key: bytes, value: bytes) -> Generator:
+        """Insert under ``page``; returns (separator, new_right_page) if
+        this node split, else None."""
+        node = yield from self._load(page)
+        if node.kind == LEAF:
+            index = _Node._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            if node.size_estimate() > SPLIT_THRESHOLD:
+                result = yield from self._split_leaf(page, node)
+                return result
+            yield from self._store(page, node)
+            return None
+        index = _Node._bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            index += 1
+        split = yield from self._insert_into(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right_page = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right_page)
+        if node.size_estimate() > SPLIT_THRESHOLD:
+            result = yield from self._split_internal(page, node)
+            return result
+        yield from self._store(page, node)
+        return None
+
+    def _split_leaf(self, page: int, node: _Node) -> Generator:
+        middle = len(node.keys) // 2
+        right = _Node(LEAF)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right_page = self.pager.allocate_page()
+        yield from self._store(right_page, right)
+        yield from self._store(page, node)
+        return right.keys[0], right_page
+
+    def _split_internal(self, page: int, node: _Node) -> Generator:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(INTERNAL)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        right_page = self.pager.allocate_page()
+        yield from self._store(right_page, right)
+        yield from self._store(page, node)
+        return separator, right_page
+
+    def delete(self, key: bytes) -> Generator:
+        """Lazy delete: remove the cell, never rebalance."""
+        if self.pager.root_page == 0:
+            return False
+        page = self.pager.root_page
+        while True:
+            node = yield from self._load(page)
+            if node.kind == LEAF:
+                index = _Node._bisect(node.keys, key)
+                if index < len(node.keys) and node.keys[index] == key:
+                    del node.keys[index]
+                    del node.values[index]
+                    yield from self._store(page, node)
+                    return True
+                return False
+            index = _Node._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                index += 1
+            page = node.children[index]
+
+    def scan(self, start: bytes, count: int) -> Generator:
+        """In-order traversal collecting up to ``count`` pairs >= start."""
+        result: List[Tuple[bytes, bytes]] = []
+        if self.pager.root_page == 0:
+            return result
+        yield from self._scan_node(self.pager.root_page, start, count, result)
+        return result
+
+    def _scan_node(self, page: int, start: bytes, count: int,
+                   result: List[Tuple[bytes, bytes]]) -> Generator:
+        node = yield from self._load(page)
+        if node.kind == LEAF:
+            for key, value in zip(node.keys, node.values):
+                if key >= start and len(result) < count:
+                    result.append((key, value))
+            return
+        begin = _Node._bisect(node.keys, start)
+        for index in range(begin, len(node.children)):
+            if len(result) >= count:
+                return
+            yield from self._scan_node(node.children[index], start, count, result)

@@ -1,0 +1,202 @@
+"""Block-device substrate: storage + a per-device service-time model.
+
+Devices store data sparsely (block index -> bytes) so simulating a
+"480 GB" disk costs memory proportional to the data actually written.
+
+Durability model: a write lands in the device's volatile write cache and
+becomes durable at the next ``flush()`` (write barrier), mirroring how a
+real SATA drive acknowledges writes from its DRAM cache. ``fsync`` in the
+simulated kernel ends with a device flush, so the "fsync is ~an order of
+magnitude slower than a plain write" effect the paper leans on (§III,
+cleanup-thread batching) emerges naturally.
+
+Requests are serialized through a device lock (queue depth 1), which is
+the behaviour of the paper's `psync`/qd1 FIO configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from ..sim import Environment, Lock
+
+
+@dataclass
+class BlockStats:
+    """Cumulative counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    sequential_writes: int = 0
+    random_writes: int = 0
+
+
+@dataclass(frozen=True)
+class BlockTiming:
+    """Service-time parameters; subclasses provide calibrated defaults."""
+
+    read_base: float
+    write_base: float
+    seq_read_base: float
+    seq_write_base: float
+    read_bandwidth: float  # bytes/second
+    write_bandwidth: float
+    flush_latency: float
+
+
+class BlockDevice:
+    """A storage device addressable at byte granularity (the simulated
+    kernel performs its own page-sized I/O on top)."""
+
+    BLOCK = 4096
+
+    def __init__(self, env: Environment, size: int, timing: BlockTiming,
+                 name: str = "blk0"):
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        self.env = env
+        self.size = size
+        self.timing = timing
+        self.name = name
+        self.stats = BlockStats()
+        self._durable: Dict[int, bytes] = {}
+        self._cache: Dict[int, bytes] = {}  # volatile device write cache
+        self._lock = Lock(env, name=f"{name}.queue")
+        self._last_write_end: Optional[int] = None
+        self._last_read_end: Optional[int] = None
+
+    # -- storage helpers ----------------------------------------------------
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise ValueError(
+                f"I/O [{offset}, {offset + nbytes}) out of bounds on "
+                f"{self.name} of size {self.size}"
+            )
+
+    def _read_raw(self, offset: int, nbytes: int) -> bytes:
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            block, in_block = divmod(offset + pos, self.BLOCK)
+            chunk = min(nbytes - pos, self.BLOCK - in_block)
+            data = self._cache.get(block)
+            if data is None:
+                data = self._durable.get(block)
+            if data is not None:
+                out[pos:pos + chunk] = data[in_block:in_block + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def _write_raw(self, offset: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            block, in_block = divmod(offset + pos, self.BLOCK)
+            chunk = min(len(data) - pos, self.BLOCK - in_block)
+            existing = self._cache.get(block)
+            if existing is None:
+                existing = self._durable.get(block, b"\x00" * self.BLOCK)
+            updated = bytearray(existing)
+            updated[in_block:in_block + chunk] = data[pos:pos + chunk]
+            self._cache[block] = bytes(updated)
+            pos += chunk
+
+    # -- service-time model ---------------------------------------------------
+
+    def _write_service_time(self, offset: int, nbytes: int) -> float:
+        sequential = self._last_write_end == offset
+        base = self.timing.seq_write_base if sequential else self.timing.write_base
+        if sequential:
+            self.stats.sequential_writes += 1
+        else:
+            self.stats.random_writes += 1
+        return base + nbytes / self.timing.write_bandwidth
+
+    def _read_service_time(self, offset: int, nbytes: int) -> float:
+        sequential = self._last_read_end == offset
+        base = self.timing.seq_read_base if sequential else self.timing.read_base
+        return base + nbytes / self.timing.read_bandwidth
+
+    # -- timed public API ------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> Generator:
+        """Timed read; returns the bytes."""
+        self._check(offset, nbytes)
+        yield self._lock.acquire()
+        try:
+            delay = self._read_service_time(offset, nbytes)
+            self._last_read_end = offset + nbytes
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+            self.stats.busy_time += delay
+            yield self.env.timeout(delay)
+            if self.env.tracer is not None:
+                self.env.tracer.add(self.env.now - delay, delay, self.name,
+                                    "read", self.name, offset=offset,
+                                    nbytes=nbytes)
+            return self._read_raw(offset, nbytes)
+        finally:
+            self._lock.release()
+
+    def write(self, offset: int, data: bytes) -> Generator:
+        """Timed write into the device cache (volatile until flush)."""
+        self._check(offset, len(data))
+        yield self._lock.acquire()
+        try:
+            delay = self._write_service_time(offset, len(data))
+            self._last_write_end = offset + len(data)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self.stats.busy_time += delay
+            yield self.env.timeout(delay)
+            if self.env.tracer is not None:
+                self.env.tracer.add(self.env.now - delay, delay, self.name,
+                                    "write", self.name, offset=offset,
+                                    nbytes=len(data))
+            self._write_raw(offset, data)
+        finally:
+            self._lock.release()
+
+    def flush(self) -> Generator:
+        """Write barrier: device cache becomes durable."""
+        yield self._lock.acquire()
+        try:
+            self.stats.flushes += 1
+            self.stats.busy_time += self.timing.flush_latency
+            yield self.env.timeout(self.timing.flush_latency)
+            if self.env.tracer is not None:
+                self.env.tracer.add(self.env.now - self.timing.flush_latency,
+                                    self.timing.flush_latency, self.name,
+                                    "flush", self.name)
+            self._durable.update(self._cache)
+            self._cache.clear()
+        finally:
+            self._lock.release()
+
+    # -- crash simulation --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: the volatile device cache is dropped."""
+        self._cache.clear()
+        self._last_write_end = None
+        self._last_read_end = None
+
+    def reattach(self, env: Environment) -> None:
+        """Rebind the device to a fresh environment (reboot after crash);
+        durable blocks are kept, queue state reset."""
+        self.env = env
+        self._lock = Lock(env, name=f"{self.name}.queue")
+        self._last_write_end = None
+        self._last_read_end = None
+
+    def durable_snapshot(self) -> Dict[int, bytes]:
+        """Copy of the durable blocks (for crash-consistency assertions)."""
+        return dict(self._durable)
+
+    def written_blocks(self) -> int:
+        return len(self._durable) + len(self._cache)

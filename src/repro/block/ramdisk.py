@@ -1,0 +1,24 @@
+"""DRAM-backed block device (used by tests and the lvm2-style stacking)."""
+
+from __future__ import annotations
+
+from ..sim import Environment
+from ..units import GIB, US
+from .device import BlockDevice, BlockTiming
+
+RAMDISK_TIMING = BlockTiming(
+    read_base=1 * US,
+    write_base=1 * US,
+    seq_read_base=1 * US,
+    seq_write_base=1 * US,
+    read_bandwidth=12 * GIB,
+    write_bandwidth=10 * GIB,
+    flush_latency=1 * US,
+)
+
+
+class RamDisk(BlockDevice):
+    """Volatile, fast, flat-latency device."""
+
+    def __init__(self, env: Environment, size: int = 8 * GIB, name: str = "ram0"):
+        super().__init__(env, size, RAMDISK_TIMING, name=name)

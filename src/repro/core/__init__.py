@@ -1,0 +1,44 @@
+"""NVCache core: the paper's primary contribution."""
+
+from .cleanup import CleanupThread
+from .config import DEFAULT_CONFIG, NvcacheConfig
+from .files import FileTables, NvFile, NvOpenFile
+from .inspect import EntrySummary, LogReport, format_report, inspect_log
+from .log import (
+    COMMIT_FREE,
+    COMMIT_LEADER,
+    FOLLOWER_BASE,
+    HEADER_SIZE,
+    NvmmLog,
+)
+from .nvcache import Nvcache
+from .radix import RadixTree
+from .read_cache import PageContent, PageDescriptor, ReadCache
+from .recovery import RecoveryReport, recover
+from .stats import NvcacheStats
+
+__all__ = [
+    "Nvcache",
+    "NvcacheConfig",
+    "DEFAULT_CONFIG",
+    "NvcacheStats",
+    "NvmmLog",
+    "COMMIT_FREE",
+    "COMMIT_LEADER",
+    "FOLLOWER_BASE",
+    "HEADER_SIZE",
+    "CleanupThread",
+    "RadixTree",
+    "ReadCache",
+    "PageDescriptor",
+    "PageContent",
+    "FileTables",
+    "NvFile",
+    "NvOpenFile",
+    "recover",
+    "RecoveryReport",
+    "inspect_log",
+    "format_report",
+    "LogReport",
+    "EntrySummary",
+]

@@ -1,0 +1,194 @@
+"""The cleanup thread: asynchronous propagation from the NVMM log to the
+mass storage through legacy syscalls (paper §II-A, §III).
+
+Batching (paper §IV-C): the thread waits until at least ``batch_min``
+entries are pending (or an idle/drain deadline passes), consumes up to
+``batch_max`` entries with plain ``pwrite``s — letting the kernel page
+cache combine writes that hit the same page — and issues ONE ``fsync``
+per touched file per batch instead of one per write.
+
+Retirement follows the paper's three steps: (1) pwrite+fsync the entries,
+(2) durably clear their commit words and advance the persistent tail,
+(3) advance the volatile tail so writers can reuse the slots. Groups
+(multi-entry writes) are always retired whole, so the persistent tail
+never lands inside a half-propagated group.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ..sim import Environment, Waitable
+from .config import NvcacheConfig
+from .files import FileTables
+from .log import FOLLOWER_BASE, NvmmLog
+from .stats import NvcacheStats
+
+_TICK = 1e-3  # poll interval while idle (simulated seconds)
+
+
+class CleanupThread:
+    """The background propagation thread of one NVCache instance."""
+
+    def __init__(self, env: Environment, log: NvmmLog, kernel, tables: FileTables,
+                 config: NvcacheConfig, stats: NvcacheStats):
+        self.env = env
+        self.log = log
+        self.kernel = kernel
+        self.tables = tables
+        self.config = config
+        self.stats = stats
+        self.running = False
+        self._process = None
+        # Set by Nvcache: generator performing the kernel-level close of
+        # a deferred fd (close + path-slot clear + cache release).
+        self.finalize_fd = None
+        self._drain_waiters: List[Tuple[int, Waitable]] = []
+        self._last_progress = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._last_progress = self.env.now
+        self._process = self.env.spawn(self._run(), name="nvcache-cleanup")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def request_drain(self) -> Waitable:
+        """A waitable that fires once everything logged *so far* has been
+        propagated and retired."""
+        target = self.log.head
+        waiter = Waitable(self.env)
+        if self.log.volatile_tail >= target:
+            waiter._fire(None)
+        else:
+            self._drain_waiters.append((target, waiter))
+        return waiter
+
+    def _fire_drains(self) -> None:
+        still_waiting = []
+        for target, waiter in self._drain_waiters:
+            if self.log.volatile_tail >= target:
+                waiter._fire(None)
+            else:
+                still_waiting.append((target, waiter))
+        self._drain_waiters = still_waiting
+
+    # -- the thread body ---------------------------------------------------------
+
+    def _run(self) -> Generator:
+        while self.running:
+            pending = self.log.used()
+            if pending == 0:
+                self._last_progress = self.env.now
+                yield self.env.timeout(_TICK)
+                continue
+            urgent = (bool(self._drain_waiters)
+                      or bool(self.log._space_waiters)  # writers stalled
+                      or pending >= self.log.entries // 2  # log near full
+                      or len(self.tables.deferred_close) > 64  # fds piling up
+                      or self.env.now - self._last_progress >= self.config.cleanup_idle_flush)
+            if pending < self.config.batch_min and not urgent:
+                yield self.env.timeout(_TICK)
+                continue
+            consumed = yield from self._consume_batch()
+            if consumed == 0:
+                # Tail entry allocated but not committed yet: wait for the
+                # writer (paper: "the cleanup thread waits").
+                yield self.env.timeout(_TICK / 10)
+            else:
+                self._last_progress = self.env.now
+                self._fire_drains()
+
+    def _collect_batch(self) -> List[int]:
+        start = self.log.volatile_tail
+        limit = min(self.log.used(), self.config.batch_max)
+        batch: List[int] = []
+        for seq in range(start, start + limit):
+            if not self.log.is_committed(seq):
+                break
+            batch.append(seq)
+        # Never split a group: absorb trailing committed followers.
+        while batch:
+            next_seq = start + len(batch)
+            if next_seq >= self.log.head:
+                break
+            commit_group = self.log.read_header(next_seq)[0]
+            if commit_group >= FOLLOWER_BASE and self.log.is_committed(next_seq):
+                batch.append(next_seq)
+            else:
+                break
+        return batch
+
+    def _consume_batch(self) -> Generator:
+        batch = self._collect_batch()
+        if not batch:
+            yield self.env.timeout(0.0)
+            return 0
+        touched_fds = set()
+        page_size = self.config.page_size
+        for seq in batch:
+            _cg, fd, offset, data = yield from self.log.timed_read_entry(seq)
+            if fd < 0:
+                # Namespace op (unlink/truncate/rename): already executed
+                # live; logged only so recovery replays it in order.
+                continue
+            nv_file = self.tables.fd_files.get(fd)
+            first_page = offset // page_size
+            last_page = (offset + max(len(data), 1) - 1) // page_size
+            descriptors = []
+            if nv_file is not None and nv_file.radix is not None:
+                for page in range(first_page, last_page + 1):
+                    descriptor = nv_file.descriptor(page)
+                    if descriptor is not None:
+                        descriptors.append(descriptor)
+            for descriptor in descriptors:
+                yield descriptor.cleanup_lock.acquire()
+            try:
+                yield from self.kernel.pwrite(fd, data, offset)
+                for descriptor in descriptors:
+                    descriptor.dirty_counter -= 1
+                    if descriptor.pending and descriptor.pending[0] == seq:
+                        descriptor.pending.popleft()
+                    else:  # defensive: out-of-order retirement is a bug
+                        descriptor.pending.remove(seq)
+            finally:
+                for descriptor in descriptors:
+                    descriptor.cleanup_lock.release()
+            if nv_file is not None:
+                nv_file.pending_entries -= 1
+            remaining = self.tables.pending_by_fd.get(fd, 0) - 1
+            self.tables.pending_by_fd[fd] = max(0, remaining)
+            touched_fds.add(fd)
+        # One durability barrier per filesystem, not per file: jbd2 groups
+        # the commits of files synced back-to-back into one transaction,
+        # so a batch touching many short-lived files (SQLite journals)
+        # still pays a single device flush.
+        synced_filesystems = set()
+        for fd in sorted(touched_fds):
+            open_file = self.kernel.fds.lookup(fd)
+            if open_file is None:
+                continue
+            if id(open_file.filesystem) in synced_filesystems:
+                continue
+            yield from self.kernel.syncfs(fd)
+            synced_filesystems.add(id(open_file.filesystem))
+            self.stats.cleanup_fsyncs += 1
+        yield from self.log.clear_entries(batch)
+        self.log.advance_volatile_tail(batch[-1] + 1)
+        self.stats.cleanup_batches += 1
+        self.stats.cleanup_entries += len(batch)
+        if self.env.tracer is not None:
+            self.env.tracer.add(self.env.now, 0.0, "nvcache", "batch",
+                                "cleanup", entries=len(batch),
+                                log_used=self.log.used())
+        # Kernel-close application-closed fds whose entries are all retired.
+        if self.finalize_fd is not None:
+            for fd in sorted(self.tables.deferred_close):
+                if self.tables.pending_by_fd.get(fd, 0) == 0:
+                    yield from self.finalize_fd(fd)
+        return len(batch)

@@ -1,0 +1,48 @@
+"""NVCache configuration (the system parameters from paper §IV-A).
+
+Paper defaults: 4 KiB entries, a 16 M-entry log (~64 GiB), a 250 k-page
+read cache (~1 GiB), batches of 1 000–10 000 entries. Simulations scale
+these down; every experiment records the scale it used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import KIB, MS, US
+
+
+@dataclass(frozen=True)
+class NvcacheConfig:
+    """Tunable parameters of one NVCache instance."""
+
+    entry_data_size: int = 4 * KIB      # payload bytes per fixed-size log entry
+    log_entries: int = 16 * 1024 * 1024  # number of entries in the circular log
+    read_cache_pages: int = 250_000      # page contents in the DRAM read cache
+    page_size: int = 4 * KIB             # read-cache page size (power of two)
+    batch_min: int = 1_000               # entries before the cleanup thread kicks in
+    batch_max: int = 10_000              # max entries drained per fsync batch
+    fd_max: int = 4_096                  # size of the persistent fd->path table
+    path_max: int = 256                  # bytes reserved per path in NVMM
+    cleanup_idle_flush: float = 50 * MS  # drain a short log after this idle time
+    # User-space CPU cost per intercepted write (radix walk, locking,
+    # bookkeeping) — the calibration knob for the paper's ~500 MiB/s.
+    write_op_overhead: float = 3.2 * US
+    read_hit_overhead: float = 0.7 * US
+    read_miss_overhead: float = 1.5 * US
+
+    def __post_init__(self):
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        if self.entry_data_size <= 0 or self.log_entries <= 1:
+            raise ValueError("log geometry must be positive")
+        if self.batch_max < 1 or self.batch_min < 1:
+            raise ValueError("batch sizes must be >= 1")
+
+    @property
+    def log_data_bytes(self) -> int:
+        """Payload capacity of the log (what the paper calls log size)."""
+        return self.entry_data_size * self.log_entries
+
+
+DEFAULT_CONFIG = NvcacheConfig()

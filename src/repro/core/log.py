@@ -1,0 +1,274 @@
+"""The NVCache circular write log in NVMM (paper §II-B, §III).
+
+On-media layout (all offsets fixed, so recovery finds everything):
+
+    fd_table        fd_max * path_max bytes   (path of each open fd)
+    persistent_tail u64                        (oldest live entry, seq number)
+    entries         log_entries * stride
+
+Each fixed-size entry is::
+
+    u64 commit_group   # see encoding below
+    i64 fd
+    i64 offset
+    u64 size           # payload bytes used (<= entry_data_size)
+    u8  data[entry_data_size]
+
+``commit_group`` packs the commit flag and the group index into one word
+(paper §II-D: saves a cache miss and allows independent commits):
+
+- ``0``       — free slot, or an allocated-but-uncommitted leader;
+- ``1``       — committed leader (single-entry write, or head of a group);
+- ``slot+2``  — follower entry whose leader lives at ring index ``slot``.
+
+Followers are filled and flushed *before* the leader commits, so a single
+flush of the leader's commit word atomically commits the whole group.
+
+Indices: the volatile ``head`` and ``volatile_tail`` are monotonically
+increasing sequence numbers (slot = seq % N). The *persistent* tail in
+NVMM trails the volatile tail: an entry is reusable in volatile memory
+only once its slot is durably cleared (paper's three-step cleanup).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, List, Optional, Tuple
+
+from ..nvmm import NvmmDevice, RegionAllocator, read_cstring, write_cstring
+from ..sim import Environment, Waitable
+from ..units import CACHE_LINE_SIZE, US
+from .config import NvcacheConfig
+from .stats import NvcacheStats
+
+_HEADER = struct.Struct("<QqqQ")
+HEADER_SIZE = _HEADER.size  # 32 bytes
+
+COMMIT_FREE = 0
+COMMIT_LEADER = 1
+FOLLOWER_BASE = 2
+
+# Namespace operations logged for recovery ordering (an extension over
+# the paper, which only logs data writes: without these, a crash between
+# an unlink/truncate and the retirement of older write entries could
+# resurrect deleted data — e.g. a rollback journal). Encoded in the fd
+# field; payload carries the path(s).
+OP_UNLINK = -2
+OP_TRUNCATE = -3   # offset = new size
+OP_RENAME = -4     # payload = old + b"\0" + new
+
+
+def _align(value: int, alignment: int = CACHE_LINE_SIZE) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class LogFullError(Exception):
+    """Internal marker (writers normally wait instead of raising)."""
+
+
+class NvmmLog:
+    """The persistent circular log plus its volatile indices."""
+
+    def __init__(self, env: Environment, nvmm: NvmmDevice, config: NvcacheConfig,
+                 stats: Optional[NvcacheStats] = None, base: int = 0):
+        self.env = env
+        self.nvmm = nvmm
+        self.config = config
+        self.stats = stats or NvcacheStats()
+        self.entries = config.log_entries
+        self.stride = _align(HEADER_SIZE + config.entry_data_size)
+
+        allocator = RegionAllocator(nvmm, base=base)
+        self.fd_table_base = allocator.allocate(
+            "fd_table", config.fd_max * config.path_max)
+        self.tail_base = allocator.allocate("persistent_tail", 8)
+        self.entries_base = allocator.allocate(
+            "entries", self.entries * self.stride)
+
+        # Volatile indices (not needed for recovery; paper §II-B).
+        self.head = 0
+        self.volatile_tail = 0
+        self._space_waiters: List[Waitable] = []
+
+    # -- geometry ----------------------------------------------------------
+
+    @classmethod
+    def required_size(cls, config: NvcacheConfig, base: int = 0) -> int:
+        """NVMM bytes needed for this log geometry."""
+        stride = _align(HEADER_SIZE + config.entry_data_size)
+        size = _align(base)
+        size = _align(size) + _align(config.fd_max * config.path_max)
+        size = _align(size) + CACHE_LINE_SIZE  # tail
+        size = _align(size) + config.log_entries * stride
+        return size + CACHE_LINE_SIZE
+
+    def _slot_addr(self, seq: int) -> int:
+        return self.entries_base + (seq % self.entries) * self.stride
+
+    def used(self) -> int:
+        return self.head - self.volatile_tail
+
+    def free_slots(self) -> int:
+        return self.entries - self.used()
+
+    def is_empty(self) -> bool:
+        return self.head == self.volatile_tail
+
+    # -- writer side ---------------------------------------------------------
+
+    def next_entries(self, count: int) -> Generator:
+        """Advance the head by ``count``; waits while the log lacks room
+        (paper Alg. 1, ``next_entry``). A multi-entry write allocates its
+        group contiguously so the cleanup thread can retire groups
+        atomically (never leaving the persistent tail inside a group).
+        Returns the first sequence number."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > self.entries:
+            raise ValueError(
+                f"write needs {count} entries but the log only has "
+                f"{self.entries}; enlarge the log or the entry size")
+        first_wait = True
+        while self.used() + count > self.entries:
+            if first_wait:
+                self.stats.log_full_waits += 1
+                first_wait = False
+            waiter = Waitable(self.env)
+            self._space_waiters.append(waiter)
+            yield waiter
+        seq = self.head
+        self.head += count
+        self.stats.entries_created += count
+        return seq
+
+    def next_entry(self) -> Generator:
+        seq = yield from self.next_entries(1)
+        return seq
+
+    def fill_entry(self, seq: int, fd: int, offset: int, data: bytes,
+                   leader_seq: Optional[int] = None) -> Generator:
+        """Populate an entry without committing it, and flush it to the
+        persistence domain (everything except the final commit+psync)."""
+        if len(data) > self.config.entry_data_size:
+            raise ValueError(
+                f"entry payload {len(data)} exceeds {self.config.entry_data_size}")
+        addr = self._slot_addr(seq)
+        if leader_seq is None:
+            commit_group = COMMIT_FREE  # leader: committed later
+        else:
+            commit_group = (leader_seq % self.entries) + FOLLOWER_BASE
+        header = _HEADER.pack(commit_group, fd, offset, len(data))
+        self.nvmm.store(addr, header)
+        self.nvmm.store(addr + HEADER_SIZE, data)
+        self.nvmm.pwb_range(addr, HEADER_SIZE + len(data))
+        # Bandwidth cost of moving payload+header towards NVMM.
+        yield self.env.timeout(self.nvmm.timing.store_cost(HEADER_SIZE + len(data)))
+
+    def commit_leader(self, seq: int) -> Generator:
+        """pfence (order entries before commit), set the leader's commit
+        word, flush it, and psync for durable linearizability."""
+        addr = self._slot_addr(seq)
+        self.nvmm.pfence()
+        current = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))
+        self.nvmm.store(addr, _HEADER.pack(COMMIT_LEADER, *current[1:]))
+        self.nvmm.pwb(addr)
+        yield from self.nvmm.psync()
+
+    # -- reader side (cleanup thread, dirty miss, recovery) ---------------------
+
+    def read_header(self, seq: int) -> Tuple[int, int, int, int]:
+        """(commit_group, fd, offset, size) of the entry at ``seq``."""
+        return _HEADER.unpack(self.nvmm.load(self._slot_addr(seq), HEADER_SIZE))
+
+    def read_data(self, seq: int, size: Optional[int] = None) -> bytes:
+        if size is None:
+            size = self.read_header(seq)[3]
+        return self.nvmm.load(self._slot_addr(seq) + HEADER_SIZE, size)
+
+    def timed_read_entry(self, seq: int) -> Generator:
+        """Timed load of (fd, offset, data) — used by the cleanup thread."""
+        commit_group, fd, offset, size = self.read_header(seq)
+        data = yield from self.nvmm.timed_load(
+            self._slot_addr(seq) + HEADER_SIZE, size)
+        return commit_group, fd, offset, data
+
+    def timed_read_range(self, seq: int, data_offset: int, length: int) -> Generator:
+        """Timed load of a slice of an entry's payload (dirty-miss path)."""
+        addr = self._slot_addr(seq) + HEADER_SIZE + data_offset
+        data = yield from self.nvmm.timed_load(addr, length)
+        return data
+
+    def is_committed(self, seq: int) -> bool:
+        """True when this entry's write is durably committed: a committed
+        leader, or a follower whose leader slot is committed."""
+        commit_group = self.read_header(seq)[0]
+        if commit_group == COMMIT_LEADER:
+            return True
+        if commit_group >= FOLLOWER_BASE:
+            leader_slot = commit_group - FOLLOWER_BASE
+            leader_addr = self.entries_base + leader_slot * self.stride
+            leader_word = _HEADER.unpack(self.nvmm.load(leader_addr, HEADER_SIZE))[0]
+            return leader_word == COMMIT_LEADER
+        return False
+
+    # -- cleanup: the three-step free protocol (paper §III) ---------------------------
+
+    def clear_entries(self, seqs) -> Generator:
+        """Step 2: durably clear commit words and advance the persistent
+        tail, then pfence so step 3 (volatile reuse) is safe."""
+        new_tail = self.volatile_tail
+        for seq in seqs:
+            addr = self._slot_addr(seq)
+            rest = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))[1:]
+            self.nvmm.store(addr, _HEADER.pack(COMMIT_FREE, *rest))
+            self.nvmm.pwb(addr)
+            new_tail = max(new_tail, seq + 1)
+        self.nvmm.store(self.tail_base, struct.pack("<Q", new_tail))
+        self.nvmm.pwb(self.tail_base)
+        self.nvmm.pfence()
+        yield self.env.timeout(0.2 * US)
+
+    def advance_volatile_tail(self, new_tail: int) -> None:
+        """Step 3: make the slots reusable and wake blocked writers."""
+        if new_tail < self.volatile_tail or new_tail > self.head:
+            raise ValueError(
+                f"tail {new_tail} outside [{self.volatile_tail}, {self.head}]")
+        self.volatile_tail = new_tail
+        waiters, self._space_waiters = self._space_waiters, []
+        for waiter in waiters:
+            waiter._fire(None)
+
+    def persistent_tail(self) -> int:
+        return struct.unpack("<Q", self.nvmm.load(self.tail_base, 8))[0]
+
+    # -- fd table ----------------------------------------------------------------------
+
+    def _fd_addr(self, fd: int) -> int:
+        if fd < 0 or fd >= self.config.fd_max:
+            raise ValueError(f"fd {fd} outside table of {self.config.fd_max}")
+        return self.fd_table_base + fd * self.config.path_max
+
+    def set_path(self, fd: int, path: str) -> Generator:
+        """Durably record fd -> path (needed only by recovery)."""
+        addr = self._fd_addr(fd)
+        write_cstring(self.nvmm, addr, path, self.config.path_max)
+        self.nvmm.pwb_range(addr, self.config.path_max)
+        yield from self.nvmm.psync()
+
+    def clear_path(self, fd: int) -> Generator:
+        addr = self._fd_addr(fd)
+        self.nvmm.store(addr, b"\x00")
+        self.nvmm.pwb(addr)
+        yield from self.nvmm.psync()
+
+    def get_path(self, fd: int) -> str:
+        return read_cstring(self.nvmm, self._fd_addr(fd), self.config.path_max)
+
+    def all_paths(self) -> dict:
+        """fd -> path for every registered descriptor."""
+        result = {}
+        for fd in range(self.config.fd_max):
+            path = self.get_path(fd)
+            if path:
+                result[fd] = path
+        return result

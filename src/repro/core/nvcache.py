@@ -1,0 +1,487 @@
+"""The NVCache facade: the intercepted I/O functions (paper Table III).
+
+This object stands in for the patched musl libc: applications call
+``open``/``read``/``write``/``pread``/``pwrite``/``lseek``/``fsync``/
+``stat``/``close`` on it instead of on the kernel, and get:
+
+- synchronous durability — a write is durable in the NVMM log when the
+  call returns, with **no syscall on the write path**;
+- durable linearizability — the commit word is psync'd before the page
+  locks are released, so a racing reader can only observe durable data;
+- fsync as a no-op — the log already made every write durable;
+- NVCache-maintained file sizes and cursors — the kernel's are stale
+  while entries are in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..kernel.errno import EBADF, EINVAL, KernelError
+from ..kernel.fd_table import (
+    O_ACCMODE,
+    O_APPEND,
+    O_DIRECT,
+    O_RDONLY,
+    O_TRUNC,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from ..kernel.inode import Stat
+from ..nvmm import NvmmDevice
+from ..sim import Environment
+from .cleanup import CleanupThread
+from .config import DEFAULT_CONFIG, NvcacheConfig
+from .files import FileTables, NvFile, NvOpenFile
+from .log import NvmmLog
+from .radix import RadixTree
+from .read_cache import PageDescriptor, ReadCache
+from .stats import NvcacheStats
+
+
+class Nvcache:
+    """One NVCache instance: log + read cache + cleanup thread."""
+
+    def __init__(self, env: Environment, kernel, nvmm: NvmmDevice,
+                 config: NvcacheConfig = DEFAULT_CONFIG, name: str = "nvcache",
+                 start_cleanup: bool = True):
+        required = NvmmLog.required_size(config)
+        if nvmm.size < required:
+            raise ValueError(
+                f"NVMM device of {nvmm.size} bytes too small for log "
+                f"geometry needing {required} bytes")
+        self.env = env
+        self.kernel = kernel
+        self.nvmm = nvmm
+        self.config = config
+        self.name = name
+        self.stats = NvcacheStats()
+        self.log = NvmmLog(env, nvmm, config, self.stats)
+        self.tables = FileTables()
+        self.read_cache = ReadCache(env, config.read_cache_pages,
+                                    config.page_size, self.stats)
+        self.cleanup = CleanupThread(env, self.log, kernel, self.tables,
+                                     config, self.stats)
+        self.cleanup.finalize_fd = self._finalize_fd
+        if start_cleanup:
+            self.cleanup.start()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _handle(self, fd: int) -> NvOpenFile:
+        handle = self.tables.get(fd)
+        if handle is None:
+            raise KernelError(EBADF, f"fd {fd} not managed by NVCache")
+        return handle
+
+    def drain(self) -> Generator:
+        """Wait until every logged write has been propagated and retired."""
+        yield self.cleanup.request_drain()
+
+    def shutdown(self) -> Generator:
+        """Drain the log and stop the cleanup thread (clean unmount)."""
+        yield self.cleanup.request_drain()
+        self.cleanup.stop()
+
+    # -- open / close ---------------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> Generator:
+        # O_DIRECT is meaningless behind a durable user-space cache, and
+        # the cleanup thread depends on page-cache write combining — so
+        # NVCache strips it (the paper's FIO runs use direct=1 for every
+        # system yet still report combining gains for NVCACHE).
+        flags &= ~O_DIRECT
+        fd = yield from self.kernel.open(path, flags, mode)
+        st = yield from self.kernel.fstat(fd)
+        key = (st.st_dev, st.st_ino)
+        nv_file = self.tables.file_for(key, path, st.st_size, self.env)
+        writable = (flags & O_ACCMODE) != O_RDONLY
+        if flags & O_TRUNC and writable and nv_file.size:
+            from .log import OP_TRUNCATE
+            if nv_file.pending_entries:
+                # Same stale-resurrection hazard as ftruncate; see there.
+                yield self.cleanup.request_drain()
+            yield from self._log_namespace_op(
+                OP_TRUNCATE, 0, path.encode("utf-8"))
+            nv_file.size = 0
+        if writable and nv_file.radix is None:
+            # First write-mode open: create the radix tree (paper §III).
+            nv_file.radix = RadixTree()
+        cursor = nv_file.size if flags & O_APPEND else 0
+        self.tables.register(fd, nv_file, flags, cursor)
+        yield from self.log.set_path(fd, path)
+        return fd
+
+    def close(self, fd: int) -> Generator:
+        """Application close. Never blocks on the disk: if log entries
+        still reference this fd, the *kernel* close is deferred until the
+        cleanup thread retires them (which also expedites propagation —
+        the paper's close-as-coherence-point, made asynchronous). The fd
+        and its NVMM path slot stay reserved meanwhile, so recovery can
+        always resolve pending entries."""
+        self._handle(fd)
+        self.tables.unregister(fd)
+        if self.tables.pending_by_fd.get(fd, 0) == 0:
+            yield from self._finalize_fd(fd)
+        else:
+            self.tables.deferred_close.add(fd)
+            # Backpressure safety valve: an application that churns
+            # through descriptors faster than the disk drains would
+            # exhaust the NVMM path table; slow this close down until the
+            # cleanup thread reduces the backlog (sustained saturation
+            # only — the table holds fd_max bindings).
+            threshold = self.config.fd_max * 3 // 4
+            while len(self.tables.deferred_close) > threshold:
+                yield self.env.timeout(5e-4)
+            yield self.env.timeout(0.0)
+        return 0
+
+    def _finalize_fd(self, fd: int) -> Generator:
+        """Kernel-level close once no log entry references the fd."""
+        yield from self.kernel.close(fd)
+        yield from self.log.clear_path(fd)
+        nv_file = self.tables.retire_fd(fd)
+        if (nv_file is not None and nv_file.open_count == 0
+                and nv_file.pending_entries == 0 and nv_file.radix is not None):
+            for _index, descriptor in nv_file.radix.items():
+                if descriptor.content is not None:
+                    self.read_cache.release(descriptor.content)
+            nv_file.radix = None
+        return 0
+
+    # -- write path (paper Algorithm 1) ------------------------------------------------
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> Generator:
+        handle = self._handle(fd)
+        if (handle.flags & O_ACCMODE) == O_RDONLY:
+            raise KernelError(EBADF, f"fd {fd} not open for writing")
+        if offset < 0:
+            raise KernelError(EINVAL, f"offset {offset}")
+        if not data:
+            yield self.env.timeout(0.0)
+            return 0
+        nv_file = handle.file
+        config = self.config
+        page_size = config.page_size
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+        # Split into fixed-size entries (contiguous group allocation).
+        chunk_size = config.entry_data_size
+        chunk_count = (len(data) + chunk_size - 1) // chunk_size
+        leader_seq = yield from self.log.next_entries(chunk_count)
+        if chunk_count > 1:
+            self.stats.group_writes += 1
+
+        # Acquire the atomic locks of every written page, in page order.
+        first_page = offset // page_size
+        last_page = (offset + len(data) - 1) // page_size
+        descriptors = [nv_file.descriptor_or_create(page)
+                       for page in range(first_page, last_page + 1)]
+        for descriptor in descriptors:
+            yield descriptor.atomic_lock.acquire()
+        try:
+            yield self.env.timeout(config.write_op_overhead)
+            # Fill every entry (uncommitted for now).
+            for i in range(chunk_count):
+                chunk = data[i * chunk_size:(i + 1) * chunk_size]
+                yield from self.log.fill_entry(
+                    leader_seq + i, fd, offset + i * chunk_size, chunk,
+                    leader_seq=None if i == 0 else leader_seq)
+
+            # Dirty counters + the volatile pending index per page.
+            # Registered BEFORE the commit: the cleanup thread only
+            # touches committed entries, so it can never consume an entry
+            # that is not yet in the pending index (the race the paper's
+            # footnote 4 tolerates as a transiently-negative counter).
+            for i in range(chunk_count):
+                seq = leader_seq + i
+                chunk_off = offset + i * chunk_size
+                chunk_len = min(chunk_size, len(data) - i * chunk_size)
+                for page in range(chunk_off // page_size,
+                                  (chunk_off + chunk_len - 1) // page_size + 1):
+                    descriptor = nv_file.descriptor_or_create(page)
+                    descriptor.dirty_counter += 1
+                    descriptor.pending.append(seq)
+                nv_file.pending_entries += 1
+                self.tables.pending_by_fd[fd] = \
+                    self.tables.pending_by_fd.get(fd, 0) + 1
+            yield from self.log.commit_leader(leader_seq)
+
+            # Update any loaded page contents so reads stay coherent.
+            for descriptor in descriptors:
+                if descriptor.content is not None:
+                    self._apply_to_content(descriptor, offset, data)
+                descriptor.accessed = True
+            if offset + len(data) > nv_file.size:
+                nv_file.size = offset + len(data)
+        finally:
+            for descriptor in descriptors:
+                descriptor.atomic_lock.release()
+        if self.env.tracer is not None:
+            self.env.tracer.add(self.env.now, 0.0, self.name, "pwrite",
+                                "app", fd=fd, offset=offset,
+                                nbytes=len(data), entries=chunk_count)
+        return len(data)
+
+    def _apply_to_content(self, descriptor: PageDescriptor, offset: int,
+                          data: bytes) -> None:
+        page_size = self.config.page_size
+        page_start = descriptor.index * page_size
+        overlap_start = max(offset, page_start)
+        overlap_end = min(offset + len(data), page_start + page_size)
+        if overlap_start >= overlap_end:
+            return
+        descriptor.content.data[overlap_start - page_start:overlap_end - page_start] = \
+            data[overlap_start - offset:overlap_end - offset]
+
+    def write(self, fd: int, data: bytes) -> Generator:
+        handle = self._handle(fd)
+        if handle.flags & O_APPEND:
+            handle.cursor = handle.file.size
+        written = yield from self.pwrite(fd, data, handle.cursor)
+        handle.cursor += written
+        return written
+
+    # -- read path -------------------------------------------------------------------------
+
+    def pread(self, fd: int, nbytes: int, offset: int) -> Generator:
+        handle = self._handle(fd)
+        if not self._readable(handle):
+            raise KernelError(EBADF, f"fd {fd} not open for reading")
+        if offset < 0 or nbytes < 0:
+            raise KernelError(EINVAL, f"offset {offset} nbytes {nbytes}")
+        nv_file = handle.file
+        self.stats.reads += 1
+        if offset >= nv_file.size:
+            yield self.env.timeout(0.0)
+            return b""
+        nbytes = min(nbytes, nv_file.size - offset)
+        if nv_file.radix is None:
+            # Read-only file: the kernel page cache is authoritative and
+            # NVCache stays entirely out of the way (paper §II-A).
+            self.stats.read_only_bypass += 1
+            data = yield from self.kernel.pread(fd, nbytes, offset)
+            self.stats.bytes_read += len(data)
+            return data
+
+        page_size = self.config.page_size
+        out = bytearray()
+        position = offset
+        end = offset + nbytes
+        while position < end:
+            page, in_page = divmod(position, page_size)
+            chunk = min(end - position, page_size - in_page)
+            descriptor = nv_file.descriptor_or_create(page)
+            yield descriptor.atomic_lock.acquire()
+            try:
+                if descriptor.content is None:
+                    yield from self._load_page(handle, descriptor)
+                    yield self.env.timeout(self.config.read_miss_overhead)
+                else:
+                    self.stats.read_hits += 1
+                    yield self.env.timeout(self.config.read_hit_overhead)
+                descriptor.accessed = True
+                out += descriptor.content.data[in_page:in_page + chunk]
+            finally:
+                descriptor.atomic_lock.release()
+            position += chunk
+        self.stats.bytes_read += len(out)
+        return bytes(out)
+
+    def _load_page(self, handle: NvOpenFile, descriptor: PageDescriptor) -> Generator:
+        """Cache miss: load the page from the kernel and, if it is dirty,
+        run the dirty-miss procedure under the cleanup lock (paper §II-C)."""
+        self.stats.read_misses += 1
+        content = yield from self.read_cache.allocate_content()
+        page_size = self.config.page_size
+        base = descriptor.index * page_size
+        yield descriptor.cleanup_lock.acquire()
+        try:
+            kernel_data = yield from self.kernel.pread(handle.fd, page_size, base)
+            buffer = bytearray(page_size)
+            buffer[:len(kernel_data)] = kernel_data
+            if descriptor.pending:
+                self.stats.dirty_misses += 1
+            for seq in descriptor.pending:
+                _cg, _efd, entry_off, entry_size = self.log.read_header(seq)
+                overlap_start = max(entry_off, base)
+                overlap_end = min(entry_off + entry_size, base + page_size)
+                if overlap_start >= overlap_end:
+                    continue
+                piece = yield from self.log.timed_read_range(
+                    seq, overlap_start - entry_off, overlap_end - overlap_start)
+                buffer[overlap_start - base:overlap_end - base] = piece
+                self.stats.dirty_miss_entries_applied += 1
+        finally:
+            descriptor.cleanup_lock.release()
+        content.data[:] = buffer
+        self.read_cache.attach(descriptor, content)
+
+    @staticmethod
+    def _readable(handle: NvOpenFile) -> bool:
+        return (handle.flags & O_ACCMODE) != 1  # not O_WRONLY
+
+    def read(self, fd: int, nbytes: int) -> Generator:
+        handle = self._handle(fd)
+        data = yield from self.pread(fd, nbytes, handle.cursor)
+        handle.cursor += len(data)
+        return data
+
+    # -- metadata (served from NVCache's fresh view) ------------------------------------------
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> Generator:
+        handle = self._handle(fd)
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = handle.cursor + offset
+        elif whence == SEEK_END:
+            new = handle.file.size + offset
+        else:
+            raise KernelError(EINVAL, f"whence {whence}")
+        if new < 0:
+            raise KernelError(EINVAL, f"offset {new}")
+        handle.cursor = new
+        yield self.env.timeout(0.0)
+        return new
+
+    def ftell(self, fd: int) -> int:
+        return self._handle(fd).cursor
+
+    def stat(self, path: str) -> Generator:
+        st = yield from self.kernel.stat(path)
+        nv_file = self.tables.files.get((st.st_dev, st.st_ino))
+        if nv_file is not None and nv_file.size != st.st_size:
+            st = Stat(st.st_dev, st.st_ino, st.st_mode, nv_file.size, st.st_nlink)
+        return st
+
+    def fstat(self, fd: int) -> Generator:
+        handle = self._handle(fd)
+        st = yield from self.kernel.fstat(fd)
+        if handle.file.size != st.st_size:
+            st = Stat(st.st_dev, st.st_ino, st.st_mode, handle.file.size, st.st_nlink)
+        return st
+
+    def ftruncate(self, fd: int, size: int) -> Generator:
+        """Drain the file's pending entries first: a pending pre-truncate
+        write replayed after the cut would resurrect stale bytes into any
+        region a later write re-extends over. Truncate is not on any hot
+        path of the paper's workloads (SQLite journal_mode=DELETE unlinks
+        instead), so the drain is cheap in practice. The op is also
+        logged so crash recovery repeats it in order."""
+        from .log import OP_TRUNCATE
+        handle = self._handle(fd)
+        nv_file = handle.file
+        if nv_file.pending_entries:
+            yield self.cleanup.request_drain()
+        yield from self._log_namespace_op(
+            OP_TRUNCATE, size, nv_file.path.encode("utf-8"))
+        yield from self.kernel.ftruncate(fd, size)
+        nv_file.size = size
+        if nv_file.radix is not None:
+            page_size = self.config.page_size
+            keep = (size + page_size - 1) // page_size
+            for index, descriptor in list(nv_file.radix.items()):
+                if index >= keep and descriptor.content is not None:
+                    self.read_cache.release(descriptor.content)
+                elif index == keep - 1 and descriptor.content is not None:
+                    in_page = size - index * page_size
+                    if in_page < page_size:
+                        descriptor.content.data[in_page:] = b"\x00" * (page_size - in_page)
+        return 0
+
+    # -- durability calls: already durable, so no-ops (paper Table III) --------------------------
+
+    def fsync(self, fd: int) -> Generator:
+        self._handle(fd)
+        self.stats.fsyncs_ignored += 1
+        yield self.env.timeout(0.0)
+        return 0
+
+    def fdatasync(self, fd: int) -> Generator:
+        result = yield from self.fsync(fd)
+        return result
+
+    def sync(self) -> Generator:
+        self.stats.fsyncs_ignored += 1
+        yield self.env.timeout(0.0)
+        return 0
+
+    def syncfs(self, fd: int) -> Generator:
+        result = yield from self.fsync(fd)
+        return result
+
+    # -- passthroughs (namespace operations are not cached) ----------------------------------------
+
+    def _log_namespace_op(self, op: int, offset: int, payload: bytes) -> Generator:
+        """Durably log a namespace operation so recovery replays it in
+        order with the data writes (extension over the paper — see
+        DESIGN.md). Live execution happens immediately at the caller; the
+        cleanup thread merely retires these entries."""
+        seq = yield from self.log.next_entries(1)
+        yield from self.log.fill_entry(seq, op, offset, payload)
+        yield from self.log.commit_leader(seq)
+
+    def unlink(self, path: str) -> Generator:
+        from .log import OP_UNLINK
+        yield from self._log_namespace_op(OP_UNLINK, 0, path.encode("utf-8"))
+        result = yield from self.kernel.unlink(path)
+        return result
+
+    def rename(self, old: str, new: str) -> Generator:
+        from .log import OP_RENAME
+        yield from self._log_namespace_op(
+            OP_RENAME, 0, old.encode("utf-8") + b"\x00" + new.encode("utf-8"))
+        result = yield from self.kernel.rename(old, new)
+        return result
+
+    def mkdir(self, path: str) -> Generator:
+        result = yield from self.kernel.mkdir(path)
+        return result
+
+    def flock(self, fd: int, operation: int) -> Generator:
+        """flock is the coherence point for multi-process sharing
+        (paper §I): releasing a lock flushes this instance's user-space
+        writes down to the kernel; acquiring one discards this instance's
+        (possibly stale) read cache and refreshes the file size, so reads
+        under the lock see the other process's flushed writes."""
+        from ..kernel.fd_table import LOCK_EX, LOCK_SH, LOCK_UN
+        handle = self._handle(fd)
+        nv_file = handle.file
+        if operation & LOCK_UN:
+            # Unlock: everything we wrote must be visible through the
+            # kernel to whoever locks next.
+            if nv_file.pending_entries:
+                yield self.cleanup.request_drain()
+        elif operation & (LOCK_SH | LOCK_EX):
+            # Acquire: another NVCache instance may have updated the file
+            # through the kernel; drop our cached pages and re-stat.
+            if nv_file.radix is not None:
+                for _index, descriptor in nv_file.radix.items():
+                    if descriptor.content is not None and not descriptor.pending:
+                        self.read_cache.release(descriptor.content)
+            st = yield from self.kernel.fstat(fd)
+            if nv_file.pending_entries == 0:
+                nv_file.size = st.st_size
+        result = yield from self.kernel.flock(fd, operation)
+        return result
+
+    # -- introspection -------------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Internal consistency checks used by the property tests."""
+        log = self.log
+        assert log.volatile_tail <= log.head, "tail passed head"
+        assert log.persistent_tail() <= log.volatile_tail, \
+            "volatile tail behind persistent tail"
+        assert log.used() <= log.entries, "log over capacity"
+        for nv_file in self.tables.files.values():
+            if nv_file.radix is None:
+                continue
+            for _index, descriptor in nv_file.radix.items():
+                assert descriptor.dirty_counter == len(descriptor.pending), (
+                    f"dirty counter {descriptor.dirty_counter} != "
+                    f"pending {len(descriptor.pending)}")
+                assert descriptor.dirty_counter >= 0, "negative dirty counter"

@@ -1,0 +1,96 @@
+"""Radix tree mapping page indices to page descriptors (paper §II-C).
+
+Fanout-64 (6 bits per level), grown lazily in height as larger keys
+arrive — the same structure NOVA and the Linux page cache use. NVCache
+never removes individual elements (only the whole tree on close), which
+is what makes the paper's lock-free version possible; the simulation
+keeps that insert-only discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+BITS = 6
+FANOUT = 1 << BITS
+
+
+class _Node:
+    __slots__ = ("slots",)
+
+    def __init__(self):
+        self.slots: List = [None] * FANOUT
+
+
+class RadixTree:
+    """Insert-only radix tree keyed by non-negative integers."""
+
+    def __init__(self):
+        self._root = _Node()
+        self._height = 1  # levels; covers keys < FANOUT**height
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _capacity(self) -> int:
+        return FANOUT ** self._height
+
+    def _grow_to(self, key: int) -> None:
+        while key >= self._capacity():
+            new_root = _Node()
+            new_root.slots[0] = self._root
+            self._root = new_root
+            self._height += 1
+
+    def get(self, key: int):
+        """Value stored at ``key``, or None."""
+        if key < 0:
+            raise ValueError(f"negative key {key}")
+        if key >= self._capacity():
+            return None
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            node = node.slots[(key >> (level * BITS)) & (FANOUT - 1)]
+            if node is None:
+                return None
+        return node.slots[key & (FANOUT - 1)]
+
+    def get_or_create(self, key: int, factory: Callable[[], object]):
+        """Return the value at ``key``, creating it with ``factory`` if
+        absent (the CAS-create of the paper collapses to plain insert
+        under the simulator's cooperative scheduling)."""
+        if key < 0:
+            raise ValueError(f"negative key {key}")
+        self._grow_to(key)
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            slot = (key >> (level * BITS)) & (FANOUT - 1)
+            child = node.slots[slot]
+            if child is None:
+                child = _Node()
+                node.slots[slot] = child
+            node = child
+        slot = key & (FANOUT - 1)
+        value = node.slots[slot]
+        if value is None:
+            value = factory()
+            node.slots[slot] = value
+            self._count += 1
+        return value
+
+    def items(self) -> Iterator[Tuple[int, object]]:
+        """Iterate (key, value) in ascending key order."""
+        yield from self._walk(self._root, self._height, 0)
+
+    def _walk(self, node: Optional[_Node], height: int, prefix: int):
+        if node is None:
+            return
+        if height == 1:
+            for slot, value in enumerate(node.slots):
+                if value is not None:
+                    yield (prefix << BITS) | slot, value
+            return
+        for slot, child in enumerate(node.slots):
+            if child is not None:
+                yield from self._walk(child, height - 1, (prefix << BITS) | slot)

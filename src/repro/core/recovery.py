@@ -1,0 +1,148 @@
+"""Crash recovery (paper §III, Recovery procedure).
+
+On start-up after a crash, NVCache:
+
+1. reads the persistent fd→path table;
+2. walks the ring from the persistent tail, applying every *committed*
+   entry (a committed leader, or a follower whose leader is committed)
+   in log order — data writes via ``pwrite`` on lazily-opened fds, and
+   namespace operations (unlink/truncate/rename — our extension for
+   ordered replay) via the matching syscalls;
+3. invokes ``sync`` so the replayed writes are durable on mass storage;
+4. empties the log and closes the files.
+
+Because the cleanup thread retires entries strictly in order, the log at
+crash time is a *suffix* of the propagation stream: replaying it over the
+crash-time disk state simply resumes the in-order propagation, which is
+what makes mixing data writes and namespace ops sound.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Generator
+
+from ..kernel.errno import ENOENT
+from ..kernel.fd_table import O_CREAT, O_RDWR
+from ..nvmm import NvmmDevice
+from ..sim import Environment
+from .config import NvcacheConfig
+from .log import NvmmLog, OP_RENAME, OP_TRUNCATE, OP_UNLINK
+
+
+@dataclass
+class RecoveryReport:
+    """What the recovery pass found and did."""
+
+    files_reopened: int = 0
+    entries_scanned: int = 0
+    entries_applied: int = 0
+    entries_skipped_uncommitted: int = 0
+    namespace_ops_replayed: int = 0
+    bytes_replayed: int = 0
+    applied_by_path: Dict[str, int] = field(default_factory=dict)
+
+
+def recover(env: Environment, kernel, nvmm: NvmmDevice,
+            config: NvcacheConfig) -> Generator:
+    """Replay the NVMM log into the kernel. Returns a RecoveryReport.
+
+    ``nvmm`` is the post-crash device (media image, empty CPU cache);
+    ``kernel`` is the freshly booted kernel of the same machine.
+    """
+    log = NvmmLog(env, nvmm, config)
+    report = RecoveryReport()
+    paths = log.all_paths()
+    open_fds: Dict[int, int] = {}         # logged fd -> live fd
+    fds_by_path: Dict[str, list] = {}     # for unlink-induced closes
+
+    def fd_for(logged_fd: int) -> Generator:
+        live = open_fds.get(logged_fd)
+        if live is None:
+            path = paths[logged_fd]
+            live = yield from kernel.open(path, O_RDWR | O_CREAT)
+            open_fds[logged_fd] = live
+            fds_by_path.setdefault(path, []).append(logged_fd)
+            report.files_reopened += 1
+        return live
+
+    def close_path(path: str) -> Generator:
+        """Drop live fds bound to a path (it is being unlinked/renamed);
+        later entries for a recreated path must open the new file."""
+        for logged_fd in fds_by_path.pop(path, []):
+            live = open_fds.pop(logged_fd, None)
+            if live is not None:
+                yield from kernel.close(live)
+        # The logged fd may be referenced again after the unlink (same
+        # descriptor, new inode under the same path after recreation):
+        # fd_for will then lazily reopen.
+
+    tail = log.persistent_tail()
+    live_entries = []
+    for seq in range(tail, tail + log.entries):
+        commit_group = log.read_header(seq)[0]
+        if commit_group == 0:
+            continue
+        report.entries_scanned += 1
+        if not log.is_committed(seq):
+            report.entries_skipped_uncommitted += 1
+            continue
+        _cg, logged_fd, offset, data = yield from log.timed_read_entry(seq)
+        live_entries.append(seq)
+        if logged_fd == OP_UNLINK:
+            path = data.decode("utf-8")
+            yield from close_path(path)
+            try:
+                yield from kernel.unlink(path)
+            except OSError as exc:
+                if exc.errno != ENOENT:
+                    raise
+            report.namespace_ops_replayed += 1
+            continue
+        if logged_fd == OP_TRUNCATE:
+            path = data.decode("utf-8")
+            fd = yield from kernel.open(path, O_RDWR | O_CREAT)
+            yield from kernel.ftruncate(fd, offset)
+            yield from kernel.close(fd)
+            report.namespace_ops_replayed += 1
+            continue
+        if logged_fd == OP_RENAME:
+            old, new = data.decode("utf-8").split("\x00", 1)
+            yield from close_path(old)
+            try:
+                yield from kernel.rename(old, new)
+            except OSError as exc:
+                if exc.errno != ENOENT:
+                    raise
+            report.namespace_ops_replayed += 1
+            continue
+        if logged_fd not in paths:
+            # No binding: the slot was durably cleared after retirement;
+            # this entry's data already reached the disk.
+            report.entries_skipped_uncommitted += 1
+            continue
+        live = yield from fd_for(logged_fd)
+        yield from kernel.pwrite(live, data, offset)
+        report.entries_applied += 1
+        report.bytes_replayed += len(data)
+        path = paths[logged_fd]
+        report.applied_by_path[path] = report.applied_by_path.get(path, 0) + 1
+
+    yield from kernel.sync()
+
+    # Empty the log: clear the replayed entries durably, park the tail at
+    # zero so the next NVCache instance starts from a pristine ring.
+    for seq in live_entries:
+        addr = log._slot_addr(seq)
+        header = log.read_header(seq)
+        nvmm.store(addr, struct.pack("<QqqQ", 0, *header[1:]))
+        nvmm.pwb(addr)
+    nvmm.store(log.tail_base, struct.pack("<Q", 0))
+    nvmm.pwb(log.tail_base)
+    yield from nvmm.psync()
+
+    for logged_fd, live in open_fds.items():
+        yield from kernel.close(live)
+        yield from log.clear_path(logged_fd)
+    return report

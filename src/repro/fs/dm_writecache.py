@@ -1,0 +1,161 @@
+"""dm-writecache: a device-mapper target putting NVMM in front of an SSD.
+
+This is the paper's closest competitor among large-storage systems
+(Table I / Fig 3/4). It is a *block-layer* cache: every write that reaches
+the dm device is absorbed by NVMM and drained to the origin device in the
+background. Crucially it sits **behind** the kernel's volatile page cache,
+so an application only gets synchronous durability by paying the full
+O_DIRECT|O_SYNC block path per write — the overhead NVCache avoids by
+living in user space in front of the kernel.
+
+Implemented as a :class:`~repro.block.BlockDevice` so the stock
+:class:`~repro.fs.ext4.Ext4` runs on top unchanged (the paper's lvm2
+setup).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generator
+
+from ..block import BlockDevice, BlockTiming
+from ..nvmm import NvmmTiming
+from ..sim import Environment
+from ..units import GIB, US
+
+
+def _dm_timing(nvmm_timing: NvmmTiming) -> BlockTiming:
+    # Service times for cache hits: bio remap + NVMM media cost.
+    return BlockTiming(
+        read_base=3.0 * US,
+        write_base=3.4 * US,
+        seq_read_base=3.0 * US,
+        seq_write_base=3.4 * US,
+        read_bandwidth=nvmm_timing.read_bandwidth,
+        write_bandwidth=nvmm_timing.write_bandwidth,
+        flush_latency=nvmm_timing.flush_base_latency + 1.0 * US,
+    )
+
+
+class DmWriteCache(BlockDevice):
+    """NVMM write cache in front of an origin block device."""
+
+    def __init__(self, env: Environment, origin: BlockDevice,
+                 cache_size: int = 128 * GIB,
+                 nvmm_timing: NvmmTiming = NvmmTiming(),
+                 high_watermark: float = 0.45,
+                 low_watermark: float = 0.40,
+                 autocommit_blocks: int = 64,
+                 name: str = "dm-writecache"):
+        super().__init__(env, origin.size, _dm_timing(nvmm_timing), name=name)
+        self.origin = origin
+        self.cache_capacity_blocks = max(1, cache_size // self.BLOCK)
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.autocommit_blocks = autocommit_blocks
+        # LRU of cached blocks; value True if dirty (not yet on origin).
+        self._cache_blocks: "OrderedDict[int, bool]" = OrderedDict()
+        self._cache_data: Dict[int, bytes] = {}
+        self.writeback_running = False
+        self._writeback_proc = env.spawn(self._writeback_daemon(), name=f"{name}.writeback")
+
+    # -- cache state -----------------------------------------------------------
+
+    def dirty_blocks(self) -> int:
+        return sum(1 for dirty in self._cache_blocks.values() if dirty)
+
+    def _over_watermark(self, mark: float) -> bool:
+        return self.dirty_blocks() > mark * self.cache_capacity_blocks
+
+    # -- data path ---------------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> Generator:
+        """Absorb the write into NVMM; throttle if the cache is full."""
+        self._check(offset, len(data))
+        # Throttle: if every cache block is dirty, wait for writeback room.
+        while self.dirty_blocks() >= self.cache_capacity_blocks:
+            yield self.env.timeout(100 * US)
+        yield self._lock.acquire()
+        try:
+            delay = self.timing.write_base + len(data) / self.timing.write_bandwidth
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            self.stats.busy_time += delay
+            yield self.env.timeout(delay)
+            pos = 0
+            while pos < len(data):
+                block, in_block = divmod(offset + pos, self.BLOCK)
+                chunk = min(len(data) - pos, self.BLOCK - in_block)
+                existing = self._cache_data.get(block)
+                if existing is None:
+                    existing = b"\x00" * self.BLOCK
+                updated = bytearray(existing)
+                updated[in_block:in_block + chunk] = data[pos:pos + chunk]
+                self._cache_data[block] = bytes(updated)
+                self._cache_blocks[block] = True
+                self._cache_blocks.move_to_end(block)
+                pos += chunk
+        finally:
+            self._lock.release()
+
+    def read(self, offset: int, nbytes: int) -> Generator:
+        """Serve from NVMM when cached, otherwise from the origin."""
+        self._check(offset, nbytes)
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            block, in_block = divmod(offset + pos, self.BLOCK)
+            chunk = min(nbytes - pos, self.BLOCK - in_block)
+            cached = self._cache_data.get(block)
+            if cached is not None:
+                yield self.env.timeout(
+                    self.timing.read_base + chunk / self.timing.read_bandwidth)
+                out[pos:pos + chunk] = cached[in_block:in_block + chunk]
+            else:
+                data = yield from self.origin.read(block * self.BLOCK + in_block, chunk)
+                out[pos:pos + chunk] = data
+            pos += chunk
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return bytes(out)
+
+    def flush(self) -> Generator:
+        """Commit dm-writecache metadata in NVMM (fast: a psync, not a
+        disk flush). Cached writes are durable in NVMM after this."""
+        self.stats.flushes += 1
+        yield self.env.timeout(self.timing.flush_latency)
+
+    # -- background writeback ------------------------------------------------------
+
+    def _writeback_daemon(self) -> Generator:
+        while True:
+            if self._over_watermark(self.high_watermark):
+                self.writeback_running = True
+                drained = 0
+                while self._over_watermark(self.low_watermark):
+                    dirty = sorted(b for b, d in self._cache_blocks.items() if d)
+                    if not dirty:
+                        break
+                    for block in dirty:
+                        yield from self.origin.write(block * self.BLOCK, self._cache_data[block])
+                        self._cache_blocks[block] = False
+                        drained += 1
+                        if drained % self.autocommit_blocks == 0:
+                            yield from self.origin.flush()
+                yield from self.origin.flush()
+                self.writeback_running = False
+            else:
+                yield self.env.timeout(0.05)
+
+    def drain(self) -> Generator:
+        """Synchronously push every dirty block to the origin (teardown)."""
+        dirty = sorted(b for b, d in self._cache_blocks.items() if d)
+        for block in dirty:
+            yield from self.origin.write(block * self.BLOCK, self._cache_data[block])
+            self._cache_blocks[block] = False
+        yield from self.origin.flush()
+
+    def crash(self) -> None:
+        """NVMM cache content survives power loss (it is persistent);
+        only the origin device's volatile cache is lost."""
+        self.origin.crash()

@@ -1,0 +1,69 @@
+"""Result formatting: the tables and series the paper's figures show."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..units import MIB, fmt_time
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table with aligned columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i])
+                           for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[i])
+                               for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def mib_per_s(bytes_per_second: float) -> str:
+    return f"{bytes_per_second / MIB:.1f} MiB/s"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Compact ASCII rendering of a series (for figure-shaped output)."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1,
+                                           int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                    int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    top = max(values) or 1.0
+    return "".join(blocks[min(8, int(value / top * 8))] for value in values)
+
+
+def format_fio_comparison(results: Dict[str, "FioResult"],
+                          title: str) -> str:
+    """One row per system: bandwidth, latency, completion time — the
+    digest of Fig 4-style runs."""
+    rows = []
+    for name, result in results.items():
+        interval = max(result.elapsed / 40, 1e-4) if result.elapsed else 1.0
+        rows.append([
+            name,
+            mib_per_s(result.write_bandwidth),
+            f"{result.mean_write_latency * 1e6:.1f} us",
+            fmt_time(result.elapsed),
+            sparkline(result.series(interval).write_throughput, width=30),
+        ])
+    return format_table(
+        ["system", "write bw", "avg latency", "completion", "throughput over time"],
+        rows, title=title)

@@ -1,0 +1,224 @@
+"""The evaluated storage stacks (paper Tables I & IV) and their builder.
+
+Each stack is a complete simulated machine: devices, kernel, filesystems,
+optionally an NVCache instance, and the libc facade the workload uses.
+Scaling: the paper's sizes (20 GiB working sets, 64 GiB logs, 128 GiB
+caches) divided by ``Scale.factor`` (default 256) — every saturation
+effect depends on size *ratios*, which scaling preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, Optional
+
+from ..block import SsdDevice
+from ..core import Nvcache, NvcacheConfig, NvmmLog
+from ..fs import DmWriteCache, Ext4, Ext4Dax, Nova, Tmpfs
+from ..kernel import Kernel
+from ..libc import Libc, NvcacheLibc
+from ..nvmm import NvmmDevice
+from ..sim import Environment
+from ..units import GIB, KIB, MIB
+
+SYSTEM_NAMES = (
+    "nvcache+ssd",
+    "dm-writecache+ssd",
+    "ext4-dax",
+    "nova",
+    "ssd",
+    "tmpfs",
+    "nvcache+nova",
+)
+
+#: Table I — qualitative properties ('++' best, '+' good, '-' lacking).
+PROPERTY_MATRIX = {
+    "ext4-dax": {
+        "large_storage": "-", "sync_durability": "+",
+        "durable_linearizability": "+", "legacy_fs": "+ (Ext4)",
+        "stock_kernel": "+", "legacy_kernel_api": "+",
+    },
+    "nova": {
+        "large_storage": "-", "sync_durability": "++",
+        "durable_linearizability": "+", "legacy_fs": "-",
+        "stock_kernel": "-", "legacy_kernel_api": "+",
+    },
+    "strata": {
+        "large_storage": "+", "sync_durability": "++",
+        "durable_linearizability": "+", "legacy_fs": "-",
+        "stock_kernel": "-", "legacy_kernel_api": "-",
+    },
+    "splitfs": {
+        "large_storage": "-", "sync_durability": "++",
+        "durable_linearizability": "+", "legacy_fs": "+ (Ext4)",
+        "stock_kernel": "-", "legacy_kernel_api": "-",
+    },
+    "dm-writecache": {
+        "large_storage": "+", "sync_durability": "-",
+        "durable_linearizability": "-", "legacy_fs": "+ (Any)",
+        "stock_kernel": "+", "legacy_kernel_api": "+",
+    },
+    "nvcache": {
+        "large_storage": "+", "sync_durability": "+",
+        "durable_linearizability": "+", "legacy_fs": "+ (Any)",
+        "stock_kernel": "+", "legacy_kernel_api": "+",
+    },
+}
+
+#: Table IV — runtime guarantees of the evaluated stacks.
+TABLE_IV = {
+    "nvcache+ssd": {"write_cache": "NVCACHE", "storage": "SSD", "fs": "Ext4",
+                    "sync_durability": "by default",
+                    "durable_linearizability": "by default"},
+    "dm-writecache+ssd": {"write_cache": "kernel page cache", "storage": "SSD",
+                          "fs": "Ext4", "sync_durability": "O_DIRECT|O_SYNC",
+                          "durable_linearizability": "no"},
+    "ext4-dax": {"write_cache": "kernel page cache", "storage": "NVMM",
+                 "fs": "Ext4", "sync_durability": "O_DIRECT|O_SYNC",
+                 "durable_linearizability": "no"},
+    "nova": {"write_cache": "none", "storage": "NVMM", "fs": "NOVA",
+             "sync_durability": "O_DIRECT|O_SYNC",
+             "durable_linearizability": "by default"},
+    "ssd": {"write_cache": "kernel page cache", "storage": "SSD", "fs": "Ext4",
+            "sync_durability": "O_DIRECT|O_SYNC",
+            "durable_linearizability": "no"},
+    "tmpfs": {"write_cache": "kernel page cache", "storage": "DDR4",
+              "fs": "none", "sync_durability": "no",
+              "durable_linearizability": "no"},
+    "nvcache+nova": {"write_cache": "NVCACHE", "storage": "NVMM", "fs": "NOVA",
+                     "sync_durability": "by default",
+                     "durable_linearizability": "by default"},
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Divides the paper's sizes down to simulation sizes."""
+
+    factor: int = 256
+
+    def of(self, paper_bytes: int) -> int:
+        return max(64 * KIB, paper_bytes // self.factor)
+
+    @property
+    def nvcache_log_bytes(self) -> int:
+        return self.of(64 * GIB)  # paper: 16 M entries of 4 KiB
+
+    @property
+    def nvmm_module_bytes(self) -> int:
+        return self.of(256 * GIB)  # capacity of the DAX filesystems
+
+    @property
+    def dm_cache_bytes(self) -> int:
+        return self.of(128 * GIB)
+
+    @property
+    def read_cache_pages(self) -> int:
+        return max(64, self.of(1 * GIB) // (4 * KIB))  # paper: 250 k pages
+
+
+DEFAULT_SCALE = Scale()
+
+
+def nvcache_config(scale: Scale = DEFAULT_SCALE,
+                   log_bytes: Optional[int] = None,
+                   batch_min: int = 1_000,
+                   batch_max: int = 10_000,
+                   read_cache_pages: Optional[int] = None) -> NvcacheConfig:
+    """The paper's §IV-A configuration, scaled."""
+    log_bytes = log_bytes if log_bytes is not None else scale.nvcache_log_bytes
+    return NvcacheConfig(
+        entry_data_size=4 * KIB,
+        log_entries=max(8, log_bytes // (4 * KIB)),
+        read_cache_pages=(read_cache_pages if read_cache_pages is not None
+                          else scale.read_cache_pages),
+        batch_min=batch_min,
+        batch_max=batch_max,
+    )
+
+
+@dataclass
+class StorageStack:
+    """A built stack, ready to run a workload against ``libc``."""
+
+    name: str
+    env: Environment
+    kernel: Kernel
+    libc: Libc
+    nvcache: Optional[Nvcache] = None
+    devices: Dict[str, object] = field(default_factory=dict)
+
+    def settle(self) -> Generator:
+        """Quiesce after a layout phase: drain NVCache / sync the kernel."""
+        if self.nvcache is not None:
+            yield self.nvcache.cleanup.request_drain()
+        else:
+            yield from self.kernel.sync()
+        dm = self.devices.get("dm")
+        if dm is not None:
+            yield from dm.drain()
+
+    def teardown(self) -> Generator:
+        """Flush everything and stop background threads."""
+        if self.nvcache is not None:
+            yield from self.nvcache.shutdown()
+        else:
+            yield from self.kernel.sync()
+
+
+def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
+                config: Optional[NvcacheConfig] = None,
+                ssd_size: int = 8 * GIB) -> StorageStack:
+    """Construct one of the seven evaluated stacks."""
+    env = Environment()
+    kernel = Kernel(env)
+    devices: Dict[str, object] = {}
+
+    if name == "ssd":
+        ssd = SsdDevice(env, size=ssd_size)
+        kernel.mount("/", Ext4(env, ssd))
+        devices["ssd"] = ssd
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+
+    if name == "tmpfs":
+        kernel.mount("/", Tmpfs(env))
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+
+    if name == "ext4-dax":
+        nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
+        kernel.mount("/", Ext4Dax(env, nvmm))
+        devices["nvmm"] = nvmm
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+
+    if name == "nova":
+        nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
+        kernel.mount("/", Nova(env, nvmm))
+        devices["nvmm"] = nvmm
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+
+    if name == "dm-writecache+ssd":
+        ssd = SsdDevice(env, size=ssd_size)
+        dm = DmWriteCache(env, ssd, cache_size=scale.dm_cache_bytes)
+        kernel.mount("/", Ext4(env, dm))
+        devices["ssd"] = ssd
+        devices["dm"] = dm
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+
+    if name in ("nvcache+ssd", "nvcache+nova"):
+        if name == "nvcache+ssd":
+            ssd = SsdDevice(env, size=ssd_size)
+            kernel.mount("/", Ext4(env, ssd))
+            devices["ssd"] = ssd
+        else:
+            nvmm_fs = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem1")
+            kernel.mount("/", Nova(env, nvmm_fs))
+            devices["nvmm_fs"] = nvmm_fs
+        cache_config = config or nvcache_config(scale)
+        log_nvmm = NvmmDevice(env, size=NvmmLog.required_size(cache_config),
+                              name="pmem0")
+        nvcache = Nvcache(env, kernel, log_nvmm, cache_config)
+        devices["log_nvmm"] = log_nvmm
+        return StorageStack(name, env, kernel, NvcacheLibc(nvcache),
+                            nvcache=nvcache, devices=devices)
+
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")

@@ -1,0 +1,64 @@
+"""Simulated POSIX kernel: VFS, page cache, syscalls, errno."""
+
+from . import errno
+from .costs import CpuCosts, DEFAULT_CPU
+from .errno import KernelError
+from .fd_table import (
+    FdTable,
+    LOCK_EX,
+    LOCK_NB,
+    LOCK_SH,
+    LOCK_UN,
+    O_ACCMODE,
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_SYNC,
+    O_TRUNC,
+    O_WRONLY,
+    OpenFile,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from .inode import Inode, Stat, stat_of
+from .page_cache import PAGE_SIZE, PageCache
+from .syscalls import Kernel
+from .vfs import Vfs, normalize
+
+__all__ = [
+    "errno",
+    "KernelError",
+    "CpuCosts",
+    "DEFAULT_CPU",
+    "Kernel",
+    "Vfs",
+    "normalize",
+    "PageCache",
+    "PAGE_SIZE",
+    "Inode",
+    "Stat",
+    "stat_of",
+    "FdTable",
+    "OpenFile",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_ACCMODE",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+    "O_DIRECT",
+    "O_SYNC",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+    "LOCK_SH",
+    "LOCK_EX",
+    "LOCK_UN",
+    "LOCK_NB",
+]

@@ -1,0 +1,99 @@
+"""File descriptors, open-file descriptions, and open(2) flag constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .errno import EBADF, EMFILE, KernelError
+from .inode import Inode
+
+# Linux x86-64 flag values, so traces read like strace output.
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_ACCMODE = 0o3
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+O_DIRECT = 0o40000
+O_SYNC = 0o4010000
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+LOCK_SH = 1
+LOCK_EX = 2
+LOCK_UN = 8
+LOCK_NB = 4
+
+
+@dataclass
+class OpenFile:
+    """An open-file description (what dup'd fds would share)."""
+
+    inode: Inode
+    filesystem: object  # repro.fs.base.Filesystem
+    path: str
+    flags: int
+    offset: int = 0
+    locks: Set[int] = field(default_factory=set)
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & O_ACCMODE) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & O_ACCMODE) in (O_WRONLY, O_RDWR)
+
+    @property
+    def append(self) -> bool:
+        return bool(self.flags & O_APPEND)
+
+    @property
+    def direct(self) -> bool:
+        return bool(self.flags & O_DIRECT)
+
+    @property
+    def sync(self) -> bool:
+        return (self.flags & O_SYNC) == O_SYNC
+
+
+class FdTable:
+    """fd -> open-file description, with lowest-free-fd allocation."""
+
+    def __init__(self, max_fds: int = 65536, first_fd: int = 3):
+        self.max_fds = max_fds
+        self.first_fd = first_fd  # 0-2 reserved for std streams
+        self._table: Dict[int, OpenFile] = {}
+
+    def allocate(self, open_file: OpenFile) -> int:
+        for fd in range(self.first_fd, self.max_fds):
+            if fd not in self._table:
+                self._table[fd] = open_file
+                return fd
+        raise KernelError(EMFILE, "fd table full")
+
+    def get(self, fd: int) -> OpenFile:
+        open_file = self._table.get(fd)
+        if open_file is None:
+            raise KernelError(EBADF, f"fd {fd}")
+        return open_file
+
+    def lookup(self, fd: int) -> Optional[OpenFile]:
+        return self._table.get(fd)
+
+    def release(self, fd: int) -> OpenFile:
+        open_file = self._table.pop(fd, None)
+        if open_file is None:
+            raise KernelError(EBADF, f"fd {fd}")
+        return open_file
+
+    def open_fds(self):
+        return list(self._table.keys())
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,54 @@
+"""Inodes and stat results for the simulated VFS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+S_IFREG = 0o100000
+S_IFDIR = 0o040000
+
+
+@dataclass
+class Inode:
+    """An in-core inode. Filesystems attach private state via ``private``."""
+
+    number: int
+    mode: int = S_IFREG | 0o644
+    size: int = 0
+    nlink: int = 1
+    device_id: int = 0
+    private: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_dir(self) -> bool:
+        return bool(self.mode & S_IFDIR)
+
+    @property
+    def is_regular(self) -> bool:
+        return bool(self.mode & S_IFREG)
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Result of ``stat``/``fstat`` — the fields NVCache cares about."""
+
+    st_dev: int
+    st_ino: int
+    st_mode: int
+    st_size: int
+    st_nlink: int
+
+    @property
+    def is_dir(self) -> bool:
+        return bool(self.st_mode & S_IFDIR)
+
+
+def stat_of(inode: Inode) -> Stat:
+    return Stat(
+        st_dev=inode.device_id,
+        st_ino=inode.number,
+        st_mode=inode.mode,
+        st_size=inode.size,
+        st_nlink=inode.nlink,
+    )

@@ -1,0 +1,296 @@
+"""The kernel's volatile page cache.
+
+This is the component NVCache deliberately keeps *behind* its durable
+write log: writes buffered here are combined per page, so when the cleanup
+thread batches many 4 KiB writes that hit the same file page, the device
+sees one page write at the next fsync (the paper's §IV-C batching effect).
+
+Semantics modeled:
+
+- write-back caching: ``write`` dirties pages without touching the device;
+- read-after-write coherence within the kernel;
+- ``fsync(inode)`` writes that inode's dirty pages (in ascending order, as
+  the block layer's elevator would) and ends with a device barrier via the
+  filesystem's ``commit``;
+- a background writeback daemon cleans aged dirty pages;
+- LRU eviction under memory pressure (clean pages first).
+
+A crash drops every page — durability only ever comes from the device.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Set, Tuple
+
+from ..sim import Environment, Lock
+from .costs import CpuCosts, DEFAULT_CPU
+from .inode import Inode
+
+PAGE_SIZE = 4096
+
+PageKey = Tuple[int, int, int]  # (filesystem id, inode number, page index)
+
+
+@dataclass
+class CachedPage:
+    data: bytearray
+    dirty: bool = False
+    dirtied_at: float = 0.0
+
+
+@dataclass
+class PageCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writeback_pages: int = 0
+    dirty_combines: int = 0  # writes that re-dirtied an already-dirty page
+
+
+class PageCache:
+    """A single, kernel-global page cache (as in Linux)."""
+
+    def __init__(self, env: Environment, cpu: CpuCosts = DEFAULT_CPU,
+                 capacity_pages: int = 262144, writeback_interval: float = 5.0):
+        self.env = env
+        self.cpu = cpu
+        self.capacity_pages = capacity_pages
+        self.writeback_interval = writeback_interval
+        self._pages: "OrderedDict[PageKey, CachedPage]" = OrderedDict()
+        self._dirty: Dict[Tuple[int, int], Set[int]] = {}
+        self._inode_locks: Dict[Tuple[int, int], Lock] = {}
+        self.stats = PageCacheStats()
+        self._writeback_process = None
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _inode_key(filesystem, inode: Inode) -> Tuple[int, int]:
+        return (id(filesystem), inode.number)
+
+    def _lock_for(self, filesystem, inode: Inode) -> Lock:
+        key = self._inode_key(filesystem, inode)
+        lock = self._inode_locks.get(key)
+        if lock is None:
+            lock = Lock(self.env, name=f"pagecache.ino{inode.number}")
+            self._inode_locks[key] = lock
+        return lock
+
+    def _touch(self, key: PageKey) -> None:
+        self._pages.move_to_end(key)
+
+    def _mark_dirty(self, filesystem, inode: Inode, index: int, page: CachedPage) -> None:
+        if page.dirty:
+            self.stats.dirty_combines += 1
+        else:
+            page.dirty = True
+            page.dirtied_at = self.env.now
+            self._dirty.setdefault(self._inode_key(filesystem, inode), set()).add(index)
+
+    def _clear_dirty(self, filesystem, inode: Inode, index: int, page: CachedPage) -> None:
+        page.dirty = False
+        key = self._inode_key(filesystem, inode)
+        indices = self._dirty.get(key)
+        if indices is not None:
+            indices.discard(index)
+            if not indices:
+                del self._dirty[key]
+
+    def dirty_page_count(self, filesystem=None, inode: Optional[Inode] = None) -> int:
+        if filesystem is not None and inode is not None:
+            return len(self._dirty.get(self._inode_key(filesystem, inode), ()))
+        return sum(len(v) for v in self._dirty.values())
+
+    def cached_page_count(self) -> int:
+        return len(self._pages)
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_if_needed(self) -> Generator:
+        while len(self._pages) > self.capacity_pages:
+            victim_key = None
+            for key, page in self._pages.items():
+                if not page.dirty:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                # Everything is dirty: write back the oldest page.
+                victim_key, page = next(iter(self._pages.items()))
+                fs_id, ino, index = victim_key
+                filesystem, inode = self._resolve[fs_id, ino]
+                yield from filesystem.write_page(inode, index, bytes(page.data))
+                self.stats.writeback_pages += 1
+                self._clear_dirty(filesystem, inode, index, page)
+            del self._pages[victim_key]
+            self.stats.evictions += 1
+
+    # Maps (fs_id, ino) back to live objects for dirty writeback/eviction.
+    @property
+    def _resolve(self):
+        if not hasattr(self, "_resolve_map"):
+            self._resolve_map = {}
+        return self._resolve_map
+
+    def _remember(self, filesystem, inode: Inode) -> None:
+        self._resolve[(id(filesystem), inode.number)] = (filesystem, inode)
+
+    # -- data plane ----------------------------------------------------------------
+
+    def read(self, filesystem, inode: Inode, offset: int, nbytes: int) -> Generator:
+        """Read through the cache. Returns up to ``nbytes`` bytes, clipped
+        at the inode's current size."""
+        if offset >= inode.size:
+            yield self.env.timeout(self.cpu.page_cache_lookup)
+            return b""
+        nbytes = min(nbytes, inode.size - offset)
+        self._remember(filesystem, inode)
+        lock = self._lock_for(filesystem, inode)
+        yield lock.acquire()
+        try:
+            out = bytearray()
+            pos = offset
+            end = offset + nbytes
+            while pos < end:
+                index, in_page = divmod(pos, PAGE_SIZE)
+                chunk = min(end - pos, PAGE_SIZE - in_page)
+                key = (id(filesystem), inode.number, index)
+                yield self.env.timeout(self.cpu.page_cache_lookup)
+                page = self._pages.get(key)
+                if page is None:
+                    self.stats.misses += 1
+                    data = yield from filesystem.read_page(inode, index)
+                    page = CachedPage(bytearray(data))
+                    self._pages[key] = page
+                    yield from self._evict_if_needed()
+                else:
+                    self.stats.hits += 1
+                    self._touch(key)
+                out += page.data[in_page:in_page + chunk]
+                pos += chunk
+            # copy_to_user
+            yield self.env.timeout(self.cpu.copy_cost(len(out)))
+            return bytes(out)
+        finally:
+            lock.release()
+
+    def write(self, filesystem, inode: Inode, offset: int, data: bytes) -> Generator:
+        """Buffered write: dirty pages only, no device I/O."""
+        self._remember(filesystem, inode)
+        lock = self._lock_for(filesystem, inode)
+        yield lock.acquire()
+        try:
+            pos = 0
+            while pos < len(data):
+                absolute = offset + pos
+                index, in_page = divmod(absolute, PAGE_SIZE)
+                chunk = min(len(data) - pos, PAGE_SIZE - in_page)
+                key = (id(filesystem), inode.number, index)
+                yield self.env.timeout(self.cpu.page_cache_lookup)
+                page = self._pages.get(key)
+                if page is None:
+                    partial = in_page != 0 or chunk != PAGE_SIZE
+                    covers_tail = absolute + chunk >= inode.size
+                    if partial and not (in_page == 0 and covers_tail):
+                        # Read-modify-write for a partial page inside the file.
+                        data_in = yield from filesystem.read_page(inode, index)
+                        page = CachedPage(bytearray(data_in))
+                    else:
+                        page = CachedPage(bytearray(PAGE_SIZE))
+                    self._pages[key] = page
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+                    self._touch(key)
+                page.data[in_page:in_page + chunk] = data[pos:pos + chunk]
+                # Dirty BEFORE any eviction pass, so the fresh page cannot
+                # be recycled while still clean and lose this write.
+                self._mark_dirty(filesystem, inode, index, page)
+                yield from self._evict_if_needed()
+                pos += chunk
+            # copy_from_user
+            yield self.env.timeout(self.cpu.copy_cost(len(data)))
+            if offset + len(data) > inode.size:
+                inode.size = offset + len(data)
+        finally:
+            lock.release()
+
+    def fsync(self, filesystem, inode: Inode) -> Generator:
+        """Flush the inode's dirty pages then commit (journal + barrier)."""
+        lock = self._lock_for(filesystem, inode)
+        yield lock.acquire()
+        try:
+            key = self._inode_key(filesystem, inode)
+            indices = sorted(self._dirty.get(key, ()))
+            for index in indices:
+                page = self._pages.get((id(filesystem), inode.number, index))
+                if page is None or not page.dirty:
+                    continue  # cleaned or evicted by a concurrent writeback
+                yield from filesystem.write_page(inode, index, bytes(page.data))
+                self.stats.writeback_pages += 1
+                self._clear_dirty(filesystem, inode, index, page)
+        finally:
+            lock.release()
+        yield from filesystem.commit(inode)
+
+    def writeback_pass(self, min_age: float = 0.0) -> Generator:
+        """Background flusher: clean dirty pages older than ``min_age``.
+
+        No barrier — plain writeback does not flush device caches.
+        """
+        now = self.env.now
+        for key in list(self._dirty.keys()):
+            fs_id, ino = key
+            entry = self._resolve.get(key)
+            if entry is None:
+                continue
+            filesystem, inode = entry
+            for index in sorted(self._dirty.get(key, set())):
+                page_key = (fs_id, ino, index)
+                page = self._pages.get(page_key)
+                if page is None or not page.dirty:
+                    continue
+                if now - page.dirtied_at < min_age:
+                    continue
+                yield from filesystem.write_page(inode, index, bytes(page.data))
+                self.stats.writeback_pages += 1
+                self._clear_dirty(filesystem, inode, index, page)
+
+    def start_writeback_daemon(self) -> None:
+        """Spawn the periodic flusher (pdflush/bdi writeback analogue)."""
+
+        def daemon():
+            while True:
+                yield self.env.timeout(self.writeback_interval)
+                yield from self.writeback_pass(min_age=self.writeback_interval)
+
+        self._writeback_process = self.env.spawn(daemon(), name="writeback")
+
+    def truncate(self, filesystem, inode: Inode, size: int) -> None:
+        """Drop cached pages beyond ``size`` and zero the tail of the
+        boundary page (dirty pages below the cut survive)."""
+        fs_id = id(filesystem)
+        keep = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        for key in [k for k in self._pages
+                    if k[0] == fs_id and k[1] == inode.number and k[2] >= keep]:
+            page = self._pages.pop(key)
+            if page.dirty:
+                self._clear_dirty(filesystem, inode, key[2], page)
+        boundary_index, in_page = divmod(size, PAGE_SIZE)
+        if in_page:
+            page = self._pages.get((fs_id, inode.number, boundary_index))
+            if page is not None:
+                page.data[in_page:] = b"\x00" * (PAGE_SIZE - in_page)
+
+    def invalidate(self, filesystem, inode: Inode) -> None:
+        """Drop every page of an inode (used by truncate/unlink)."""
+        fs_id = id(filesystem)
+        for key in [k for k in self._pages if k[0] == fs_id and k[1] == inode.number]:
+            del self._pages[key]
+        self._dirty.pop((fs_id, inode.number), None)
+
+    def crash(self) -> None:
+        """Power loss: all cached (including dirty) pages vanish."""
+        self._pages.clear()
+        self._dirty.clear()

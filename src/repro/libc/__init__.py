@@ -1,0 +1,8 @@
+"""libc facades: the interposition point for NVCache (paper §III)."""
+
+from .aio import Aio, AioControlBlock, EINPROGRESS
+from .libc import Libc, NvcacheLibc
+from .stdio import BUFSIZ, File, Stdio
+
+__all__ = ["Libc", "NvcacheLibc", "Stdio", "File", "BUFSIZ",
+           "Aio", "AioControlBlock", "EINPROGRESS"]

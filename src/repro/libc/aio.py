@@ -1,0 +1,104 @@
+"""POSIX-style asynchronous I/O on top of any libc facade.
+
+The paper notes (§III): "NVCACHE does not support asynchronous writes,
+but they could be implemented." This module implements them — for both
+the stock libc and the NVCache libc, since it only builds on the
+synchronous calls. Semantics follow aio(7): ``aio_write``/``aio_read``
+return immediately with a control block; ``aio_error`` polls;
+``aio_suspend`` blocks; ``aio_return`` collects the result.
+
+Under NVCache an async write completes at NVMM speed and is durable at
+completion — an ordering guarantee plain aio over a page cache does not
+give.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..sim import Environment, Waitable
+
+EINPROGRESS = 115
+
+
+class AioControlBlock:
+    """An aiocb: one in-flight operation."""
+
+    __slots__ = ("operation", "fd", "offset", "nbytes", "_process",
+                 "result", "error", "_done")
+
+    def __init__(self, operation: str, fd: int, offset: int, nbytes: int):
+        self.operation = operation
+        self.fd = fd
+        self.offset = offset
+        self.nbytes = nbytes
+        self._process = None
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+class Aio:
+    """The aio_* function family bound to one libc."""
+
+    def __init__(self, libc):
+        self.libc = libc
+        self.env: Environment = libc.env
+
+    def _submit(self, control: AioControlBlock, body) -> AioControlBlock:
+        def runner():
+            try:
+                control.result = yield from body()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via aio_error
+                control.error = exc
+            control._done = True
+
+        control._process = self.env.spawn(
+            runner(), name=f"aio-{control.operation}")
+        return control
+
+    def aio_write(self, fd: int, data: bytes, offset: int) -> AioControlBlock:
+        """Queue a write; returns immediately."""
+        control = AioControlBlock("write", fd, offset, len(data))
+        return self._submit(control,
+                            lambda: self.libc.pwrite(fd, data, offset))
+
+    def aio_read(self, fd: int, nbytes: int, offset: int) -> AioControlBlock:
+        """Queue a read; the data arrives in ``aio_return``."""
+        control = AioControlBlock("read", fd, offset, nbytes)
+        return self._submit(control,
+                            lambda: self.libc.pread(fd, nbytes, offset))
+
+    def aio_fsync(self, fd: int) -> AioControlBlock:
+        control = AioControlBlock("fsync", fd, 0, 0)
+        return self._submit(control, lambda: self.libc.fsync(fd))
+
+    @staticmethod
+    def aio_error(control: AioControlBlock) -> int:
+        """0 when complete, EINPROGRESS while pending; re-raises a failed
+        operation's exception (instead of returning an errno)."""
+        if not control.done:
+            return EINPROGRESS
+        if control.error is not None:
+            raise control.error
+        return 0
+
+    @staticmethod
+    def aio_return(control: AioControlBlock):
+        """The operation's result (bytes written / data read)."""
+        if not control.done:
+            raise RuntimeError("aio_return before completion")
+        if control.error is not None:
+            raise control.error
+        return control.result
+
+    def aio_suspend(self, controls: List[AioControlBlock]) -> Generator:
+        """Block until every listed operation has completed."""
+        for control in controls:
+            if control._process is not None and control._process.alive:
+                yield control._process.join()
+        return 0

@@ -1,0 +1,182 @@
+"""The libc facade handed to legacy applications.
+
+In the paper, NVCache patches musl so that the I/O functions of libc go
+through the cache instead of the kernel. In the simulation an application
+receives a ``Libc`` object and calls POSIX functions on it:
+
+- :class:`Libc` forwards everything to the simulated kernel (stock musl);
+- :class:`NvcacheLibc` forwards the intercepted functions of paper
+  Table III to an :class:`~repro.core.nvcache.Nvcache` instance — this is
+  the "replace the libc shared object" deployment step.
+
+Applications written against this interface run unmodified on either,
+which is exactly the paper's legacy-compatibility claim.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..kernel import Kernel
+from ..kernel.fd_table import SEEK_CUR, SEEK_END, SEEK_SET
+
+
+class Libc:
+    """Stock libc: thin syscall wrappers."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.env = kernel.env
+
+    # -- unbuffered I/O ----------------------------------------------------
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> Generator:
+        fd = yield from self.kernel.open(path, flags, mode)
+        return fd
+
+    def close(self, fd: int) -> Generator:
+        result = yield from self.kernel.close(fd)
+        return result
+
+    def read(self, fd: int, nbytes: int) -> Generator:
+        data = yield from self.kernel.read(fd, nbytes)
+        return data
+
+    def write(self, fd: int, data: bytes) -> Generator:
+        written = yield from self.kernel.write(fd, data)
+        return written
+
+    def pread(self, fd: int, nbytes: int, offset: int) -> Generator:
+        data = yield from self.kernel.pread(fd, nbytes, offset)
+        return data
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> Generator:
+        written = yield from self.kernel.pwrite(fd, data, offset)
+        return written
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> Generator:
+        position = yield from self.kernel.lseek(fd, offset, whence)
+        return position
+
+    def fsync(self, fd: int) -> Generator:
+        result = yield from self.kernel.fsync(fd)
+        return result
+
+    def fdatasync(self, fd: int) -> Generator:
+        result = yield from self.kernel.fdatasync(fd)
+        return result
+
+    def sync(self) -> Generator:
+        result = yield from self.kernel.sync()
+        return result
+
+    def stat(self, path: str) -> Generator:
+        st = yield from self.kernel.stat(path)
+        return st
+
+    def fstat(self, fd: int) -> Generator:
+        st = yield from self.kernel.fstat(fd)
+        return st
+
+    def unlink(self, path: str) -> Generator:
+        result = yield from self.kernel.unlink(path)
+        return result
+
+    def rename(self, old: str, new: str) -> Generator:
+        result = yield from self.kernel.rename(old, new)
+        return result
+
+    def mkdir(self, path: str) -> Generator:
+        result = yield from self.kernel.mkdir(path)
+        return result
+
+    def ftruncate(self, fd: int, size: int) -> Generator:
+        result = yield from self.kernel.ftruncate(fd, size)
+        return result
+
+    def flock(self, fd: int, operation: int) -> Generator:
+        result = yield from self.kernel.flock(fd, operation)
+        return result
+
+
+class NvcacheLibc(Libc):
+    """musl with NVCache spliced into the I/O functions (paper §III).
+
+    The stdio family (fopen/fread/fwrite in :mod:`repro.libc.stdio`) is
+    redirected to the *unbuffered* versions automatically because it is
+    built on this class's read/write — matching Table III's "uses
+    unbuffered versions" row, with NVCache's own read cache playing the
+    role of the stdio buffer.
+    """
+
+    def __init__(self, nvcache):
+        super().__init__(nvcache.kernel)
+        self.nvcache = nvcache
+
+    def open(self, path, flags=0, mode=0o644):
+        fd = yield from self.nvcache.open(path, flags, mode)
+        return fd
+
+    def close(self, fd):
+        result = yield from self.nvcache.close(fd)
+        return result
+
+    def read(self, fd, nbytes):
+        data = yield from self.nvcache.read(fd, nbytes)
+        return data
+
+    def write(self, fd, data):
+        written = yield from self.nvcache.write(fd, data)
+        return written
+
+    def pread(self, fd, nbytes, offset):
+        data = yield from self.nvcache.pread(fd, nbytes, offset)
+        return data
+
+    def pwrite(self, fd, data, offset):
+        written = yield from self.nvcache.pwrite(fd, data, offset)
+        return written
+
+    def lseek(self, fd, offset, whence=SEEK_SET):
+        position = yield from self.nvcache.lseek(fd, offset, whence)
+        return position
+
+    def fsync(self, fd):
+        result = yield from self.nvcache.fsync(fd)
+        return result
+
+    def fdatasync(self, fd):
+        result = yield from self.nvcache.fdatasync(fd)
+        return result
+
+    def sync(self):
+        result = yield from self.nvcache.sync()
+        return result
+
+    def stat(self, path):
+        st = yield from self.nvcache.stat(path)
+        return st
+
+    def fstat(self, fd):
+        st = yield from self.nvcache.fstat(fd)
+        return st
+
+    def unlink(self, path):
+        result = yield from self.nvcache.unlink(path)
+        return result
+
+    def rename(self, old, new):
+        result = yield from self.nvcache.rename(old, new)
+        return result
+
+    def mkdir(self, path):
+        result = yield from self.nvcache.mkdir(path)
+        return result
+
+    def ftruncate(self, fd, size):
+        result = yield from self.nvcache.ftruncate(fd, size)
+        return result
+
+    def flock(self, fd, operation):
+        result = yield from self.nvcache.flock(fd, operation)
+        return result

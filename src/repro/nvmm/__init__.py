@@ -1,0 +1,27 @@
+"""NVMM substrate: byte-addressable persistent memory with crash semantics."""
+
+from .device import NvmmDevice, NvmmStats, NvmmTiming
+from .layout import (
+    RegionAllocator,
+    align_up,
+    read_cstring,
+    read_i64,
+    read_u64,
+    write_cstring,
+    write_i64,
+    write_u64,
+)
+
+__all__ = [
+    "NvmmDevice",
+    "NvmmStats",
+    "NvmmTiming",
+    "RegionAllocator",
+    "align_up",
+    "read_u64",
+    "write_u64",
+    "read_i64",
+    "write_i64",
+    "read_cstring",
+    "write_cstring",
+]

@@ -1,0 +1,251 @@
+"""Byte-addressable NVMM device with an explicit CPU-cache persistence model.
+
+The persistence semantics follow the paper's §III instruction model:
+
+- ``store`` writes go into the (volatile) CPU cache; they are *not*
+  persistent yet. Loads by the same CPU see them immediately.
+- ``pwb(addr)`` (``clwb`` on x86) enqueues the cache line containing
+  ``addr`` into the flush queue.
+- ``pfence`` (``sfence``) is an ordering point: every line enqueued by a
+  preceding ``pwb`` reaches the persistence domain before any store that
+  follows the fence. We model this by persisting the queued lines at the
+  fence.
+- ``psync`` acts as a ``pfence`` and additionally guarantees the drain has
+  completed before execution continues; it is the only persistence
+  primitive that costs simulated time on the write path.
+
+A *crash* discards the CPU cache. Because a real cache may spontaneously
+evict dirty lines at any moment, :meth:`NvmmDevice.crash_image` can
+optionally persist a random subset of the unflushed dirty lines — recovery
+code must be correct for every such subset, and the property tests exercise
+exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Set
+
+from ..sim import Environment
+from ..units import CACHE_LINE_SIZE, GIB, NS
+
+
+@dataclass(frozen=True)
+class NvmmTiming:
+    """Latency/bandwidth model, defaults calibrated to Optane DC PMM.
+
+    Numbers follow the published characterization studies the paper cites
+    (Izraelevitz et al. 2019, Yang et al. FAST'20): ~300 ns read latency,
+    ~6 GiB/s read and ~2 GiB/s write bandwidth per interleaved set, and
+    sub-microsecond flush cost.
+    """
+
+    read_latency: float = 300 * NS
+    read_bandwidth: float = 6 * GIB  # bytes/second
+    write_bandwidth: float = 2 * GIB  # bytes/second
+    flush_base_latency: float = 500 * NS  # psync drain floor
+    per_line_flush: float = 30 * NS  # extra drain cost per queued line
+
+    def store_cost(self, nbytes: int) -> float:
+        return nbytes / self.write_bandwidth
+
+    def load_cost(self, nbytes: int) -> float:
+        return self.read_latency + nbytes / self.read_bandwidth
+
+
+@dataclass
+class NvmmStats:
+    """Operation counters, reset with the device."""
+
+    stores: int = 0
+    loads: int = 0
+    bytes_stored: int = 0
+    bytes_loaded: int = 0
+    pwbs: int = 0
+    pfences: int = 0
+    psyncs: int = 0
+    lines_persisted: int = 0
+
+
+class NvmmDevice:
+    """A single NVMM module (or DAX file): media + volatile cache overlay."""
+
+    def __init__(self, env: Environment, size: int, timing: Optional[NvmmTiming] = None,
+                 media: Optional[bytearray] = None, name: str = "nvmm0"):
+        if size <= 0:
+            raise ValueError("NVMM size must be positive")
+        if media is not None and len(media) != size:
+            raise ValueError(f"media image size {len(media)} != device size {size}")
+        self.env = env
+        self.size = size
+        self.timing = timing or NvmmTiming()
+        self.name = name
+        # The persistent media. Survives crashes.
+        # Lazily allocated: filesystems that only use the device for its
+        # timing/capacity model (NOVA, Ext4-DAX) never pay for the buffer.
+        self._media = media
+        # Volatile overlay: cache-line index -> current (unpersisted) bytes.
+        self._dirty_lines: Dict[int, bytearray] = {}
+        # Lines enqueued by pwb but not yet fenced.
+        self._flush_queue: Set[int] = set()
+        # Lines persisted by pfences whose drain latency has not been
+        # charged yet — the next psync pays for them.
+        self._undrained_lines = 0
+        self.stats = NvmmStats()
+
+    @property
+    def media(self) -> bytearray:
+        if self._media is None:
+            self._media = bytearray(self.size)
+        return self._media
+
+    # -- address helpers ---------------------------------------------------
+
+    def _check_range(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise ValueError(
+                f"access [{addr}, {addr + nbytes}) out of bounds for "
+                f"{self.name} of size {self.size}"
+            )
+
+    @staticmethod
+    def _line_of(addr: int) -> int:
+        return addr // CACHE_LINE_SIZE
+
+    def _line_view(self, line: int) -> bytearray:
+        """Current contents of a cache line (media + any volatile update)."""
+        cached = self._dirty_lines.get(line)
+        if cached is not None:
+            return cached
+        start = line * CACHE_LINE_SIZE
+        return bytearray(self.media[start:start + CACHE_LINE_SIZE])
+
+    # -- untimed state transitions (the instruction model) ------------------
+
+    def store(self, addr: int, data: bytes) -> None:
+        """CPU store: visible to loads immediately, persistent only after
+        pwb+pfence/psync (or a lucky cache eviction)."""
+        self._check_range(addr, len(data))
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+        offset = 0
+        while offset < len(data):
+            line = self._line_of(addr + offset)
+            line_start = line * CACHE_LINE_SIZE
+            in_line = (addr + offset) - line_start
+            chunk = min(len(data) - offset, CACHE_LINE_SIZE - in_line)
+            view = self._line_view(line)
+            view[in_line:in_line + chunk] = data[offset:offset + chunk]
+            self._dirty_lines[line] = view
+            offset += chunk
+
+    def load(self, addr: int, nbytes: int) -> bytes:
+        """CPU load: sees the newest (possibly unpersisted) data."""
+        self._check_range(addr, nbytes)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += nbytes
+        out = bytearray(nbytes)
+        offset = 0
+        while offset < nbytes:
+            line = self._line_of(addr + offset)
+            line_start = line * CACHE_LINE_SIZE
+            in_line = (addr + offset) - line_start
+            chunk = min(nbytes - offset, CACHE_LINE_SIZE - in_line)
+            view = self._line_view(line)
+            out[offset:offset + chunk] = view[in_line:in_line + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def pwb(self, addr: int) -> None:
+        """Enqueue the cache line containing ``addr`` for write-back."""
+        self._check_range(addr, 1)
+        self.stats.pwbs += 1
+        self._flush_queue.add(self._line_of(addr))
+
+    def pwb_range(self, addr: int, nbytes: int) -> None:
+        """``pwb`` every cache line overlapping ``[addr, addr+nbytes)``."""
+        self._check_range(addr, nbytes)
+        first = self._line_of(addr)
+        last = self._line_of(addr + max(nbytes, 1) - 1)
+        for line in range(first, last + 1):
+            self.stats.pwbs += 1
+            self._flush_queue.add(line)
+
+    def _persist_line(self, line: int) -> None:
+        cached = self._dirty_lines.pop(line, None)
+        if cached is not None:
+            start = line * CACHE_LINE_SIZE
+            self.media[start:start + CACHE_LINE_SIZE] = cached
+            self.stats.lines_persisted += 1
+
+    def pfence(self) -> int:
+        """Ordering fence: persist every queued line. Returns lines drained.
+
+        The fence itself is cheap (it only *orders*); the latency of the
+        actual drain is accounted when a ``psync`` waits for it.
+        """
+        self.stats.pfences += 1
+        drained = 0
+        for line in sorted(self._flush_queue):
+            self._persist_line(line)
+            drained += 1
+        self._flush_queue.clear()
+        self._undrained_lines += drained
+        return drained
+
+    # -- timed operations (generators that charge simulated time) ----------
+
+    def psync(self) -> Generator:
+        """pfence + wait until every line flushed since the last psync has
+        reached the persistence domain (timed)."""
+        self.stats.psyncs += 1
+        self.pfence()
+        delay = (self.timing.flush_base_latency
+                 + self._undrained_lines * self.timing.per_line_flush)
+        self._undrained_lines = 0
+        yield self.env.timeout(delay)
+
+    def timed_store(self, addr: int, data: bytes) -> Generator:
+        """store() plus the bandwidth cost of moving the bytes."""
+        self.store(addr, data)
+        yield self.env.timeout(self.timing.store_cost(len(data)))
+
+    def timed_load(self, addr: int, nbytes: int) -> Generator:
+        """load() plus media read latency and bandwidth cost."""
+        data = self.load(addr, nbytes)
+        yield self.env.timeout(self.timing.load_cost(nbytes))
+        return data
+
+    # -- crash simulation ----------------------------------------------------
+
+    def dirty_line_count(self) -> int:
+        return len(self._dirty_lines)
+
+    def crash_image(self, rng: Optional[random.Random] = None,
+                    eviction_probability: float = 0.0) -> bytearray:
+        """Return the media contents as seen after a power failure.
+
+        Unflushed dirty lines are lost — except that, with probability
+        ``eviction_probability`` per line, the cache is assumed to have
+        spontaneously evicted the line before the crash (so it survives).
+        Passing ``rng`` with a non-zero probability produces adversarial
+        images for recovery testing.
+        """
+        image = bytearray(self.media)
+        if rng is not None and eviction_probability > 0.0:
+            for line, cached in self._dirty_lines.items():
+                if rng.random() < eviction_probability:
+                    start = line * CACHE_LINE_SIZE
+                    image[start:start + CACHE_LINE_SIZE] = cached
+        return image
+
+    @classmethod
+    def from_image(cls, env: Environment, image: bytearray,
+                   timing: Optional[NvmmTiming] = None, name: str = "nvmm0") -> "NvmmDevice":
+        """Reconstruct a device after a crash (fresh cache, given media)."""
+        return cls(env, len(image), timing=timing, media=bytearray(image), name=name)
+
+    def persisted_view(self) -> bytes:
+        """What the media holds right now if the machine lost power."""
+        return bytes(self.media)

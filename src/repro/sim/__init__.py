@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel used by every substrate in the repo."""
+
+from .core import (
+    Environment,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+    Waitable,
+)
+from .rng import DeterministicRandom, shuffled, zipf_ranks
+from .sync import Condition, Event, Lock, Queue, Semaphore
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Environment",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "Waitable",
+    "Event",
+    "Lock",
+    "Condition",
+    "Semaphore",
+    "Queue",
+    "Tracer",
+    "TraceEvent",
+    "DeterministicRandom",
+    "zipf_ranks",
+    "shuffled",
+]

@@ -1,0 +1,226 @@
+"""Discrete-event simulation kernel.
+
+Every component of the reproduced I/O stack (NVMM, block devices, the
+simulated kernel, NVCache itself, applications) runs as a *process*: a
+Python generator that yields :class:`Waitable` objects. The
+:class:`Environment` owns a virtual clock and an event heap, and resumes
+processes when the waitables they are blocked on fire.
+
+The API intentionally mirrors a small subset of SimPy::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5.0)
+        return 42
+
+    proc = env.spawn(worker(env), name="worker")
+    env.run()
+    assert proc.value == 42
+
+Composition uses plain ``yield from``: a sub-operation that consumes
+simulated time is a generator, and callers delegate to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised by a process to halt the whole simulation immediately."""
+
+
+class Waitable:
+    """Something a process can block on.
+
+    A waitable is *pending* until it fires. Subscribers (usually processes)
+    are called back exactly once with ``(value, exception)``.
+    """
+
+    __slots__ = ("env", "_callbacks", "_fired", "value", "exception")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._fired = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def subscribe(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        if self._fired:
+            # Deliver asynchronously to preserve run-to-yield semantics.
+            self.env.schedule(0.0, lambda: callback(self.value, self.exception))
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        if self._fired:
+            raise SimulationError("waitable fired twice")
+        self._fired = True
+        self.value = value
+        self.exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.env.schedule(0.0, lambda cb=callback: cb(value, exception))
+
+
+class Timeout(Waitable):
+    """Fires after a fixed amount of simulated time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay!r}")
+        super().__init__(env)
+        env.schedule(delay, lambda: self._fire(value))
+
+
+class Process(Waitable):
+    """A running generator, resumable by the environment.
+
+    A process is itself a waitable that fires when the generator returns;
+    its ``value`` is the generator's return value. ``yield process`` (or
+    ``process.join()``) blocks until completion and evaluates to that value.
+    """
+
+    __slots__ = ("name", "_generator", "_alive")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "process"):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
+        self.name = name
+        self._generator = generator
+        self._alive = True
+        env.schedule(0.0, lambda: self._step(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def join(self) -> "Process":
+        return self
+
+    def _step(self, value: Any, exception: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self._fire(stop.value)
+            return
+        except StopSimulation:
+            self._alive = False
+            self.env._stop_requested = True
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            self._alive = False
+            if self._callbacks:
+                self._fire(None, exc)
+            else:
+                self.env._crashed_process = (self, exc)
+                self.env._stop_requested = True
+            return
+        if not isinstance(target, Waitable):
+            self._alive = False
+            self._fire(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Waitable objects"
+                ),
+            )
+            return
+        target.subscribe(self._step)
+
+    def kill(self) -> None:
+        """Terminate the process without firing it (used for crash tests)."""
+        if self._alive:
+            self._alive = False
+            self._generator.close()
+
+
+class Environment:
+    """The event loop: virtual clock plus a heap of scheduled callbacks."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        # Optional observability hook (see repro.sim.trace.Tracer).
+        self.tracer = None
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._stop_requested = False
+        self._crashed_process: Optional[Tuple[Process, BaseException]] = None
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> "Event":
+        from .sync import Event
+
+        return Event(self)
+
+    def spawn(self, generator: Generator, name: str = "process") -> Process:
+        return Process(self, generator, name)
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or a stop.
+
+        Returns the clock value at exit. An uncaught exception in a process
+        with no joiner is re-raised here, so tests fail loudly.
+        """
+        self._stop_requested = False
+        while self._heap and not self._stop_requested:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        if self._crashed_process is not None:
+            process, exc = self._crashed_process
+            self._crashed_process = None
+            raise SimulationError(f"process {process.name!r} crashed") from exc
+        if until is not None and self.now < until and not self._stop_requested:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "main") -> Any:
+        """Spawn ``generator``, run until *it* completes, and return its
+        value. Other processes (daemons, background threads) may still be
+        runnable when this returns — they simply stop being driven."""
+        process = self.spawn(generator, name=name)
+        process.subscribe(lambda _value, _exc: self.stop())
+        self.run()
+        if process.alive:
+            raise SimulationError(f"process {name!r} did not finish (deadlock?)")
+        if process.exception is not None:
+            raise process.exception
+        return process.value
+
+    def stop(self) -> None:
+        self._stop_requested = True

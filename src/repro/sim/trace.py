@@ -1,0 +1,94 @@
+"""Execution tracing for simulated runs.
+
+Attach a :class:`Tracer` to an :class:`~repro.sim.core.Environment` and
+instrumented components (block devices, NVCache) record timestamped
+events. The trace exports to Chrome's ``chrome://tracing`` / Perfetto
+JSON format, giving a zoomable timeline of every I/O in a run — the kind
+of tooling a production NVCache deployment would want when diagnosing a
+saturation collapse.
+
+Usage::
+
+    env = Environment()
+    env.tracer = Tracer()
+    ... run a workload ...
+    env.tracer.to_chrome_json("trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline event (times in simulated seconds)."""
+
+    timestamp: float
+    duration: float
+    category: str    # e.g. "ssd", "nvcache", "cleanup"
+    name: str        # e.g. "write", "psync", "batch"
+    track: str       # lane in the timeline (device or thread name)
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects events; bounded to protect long runs."""
+
+    def __init__(self, capacity: int = 200_000):
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def add(self, timestamp: float, duration: float, category: str,
+            name: str, track: str, **args) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(timestamp, duration, category,
+                                      name, track, args))
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.category == category]
+
+    def total_time(self, category: str, name: Optional[str] = None) -> float:
+        return sum(event.duration for event in self.events
+                   if event.category == category
+                   and (name is None or event.name == name))
+
+    def to_chrome_events(self) -> List[dict]:
+        """Chrome trace-event format ('X' complete events, µs units)."""
+        out = []
+        for event in self.events:
+            out.append({
+                "name": event.name,
+                "cat": event.category,
+                "ph": "X",
+                "ts": event.timestamp * 1e6,
+                "dur": max(event.duration * 1e6, 0.001),
+                "pid": 1,
+                "tid": event.track,
+                "args": event.args,
+            })
+        return out
+
+    def to_chrome_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": self.to_chrome_events()}, handle)
+
+    def summary(self) -> str:
+        """Per-(category, name) totals — a quick profile."""
+        totals: Dict[tuple, List[float]] = {}
+        for event in self.events:
+            totals.setdefault((event.category, event.name), []).append(
+                event.duration)
+        lines = [f"{len(self.events)} events"
+                 + (f" ({self.dropped} dropped)" if self.dropped else "")]
+        for (category, name), durations in sorted(totals.items()):
+            lines.append(
+                f"  {category}/{name}: n={len(durations)} "
+                f"total={sum(durations) * 1e3:.2f}ms "
+                f"mean={sum(durations) / len(durations) * 1e6:.1f}us")
+        return "\n".join(lines)

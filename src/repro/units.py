@@ -1,0 +1,36 @@
+"""Size and time unit constants shared across the code base.
+
+Simulated time is measured in seconds (floats); sizes in bytes (ints).
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+CACHE_LINE_SIZE = 64
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (e.g. ``'1.5 GiB'``)."""
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (e.g. ``'2 min 29 s'`` or ``'42.0 s'``)."""
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        return f"{minutes} min {seconds - 60 * minutes:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.1f} ms"
+    if seconds >= US:
+        return f"{seconds / US:.1f} us"
+    return f"{seconds / NS:.0f} ns"

@@ -1,0 +1,32 @@
+"""Workload generators: FIO clone and db_bench."""
+
+from .db_bench import (
+    ALL_BENCHMARKS,
+    BenchResult,
+    DbBench,
+    MIXED_BENCHMARKS,
+    READ_BENCHMARKS,
+    WRITE_BENCHMARKS,
+    make_key,
+    make_value,
+)
+from .fio import FioJob, FioResult, FioSeries, run_fio
+from .ycsb import WORKLOAD_MIXES, YcsbResult, YcsbWorkload
+
+__all__ = [
+    "FioJob",
+    "FioResult",
+    "FioSeries",
+    "run_fio",
+    "DbBench",
+    "BenchResult",
+    "ALL_BENCHMARKS",
+    "WRITE_BENCHMARKS",
+    "READ_BENCHMARKS",
+    "MIXED_BENCHMARKS",
+    "make_key",
+    "make_value",
+    "YcsbWorkload",
+    "YcsbResult",
+    "WORKLOAD_MIXES",
+]

@@ -1,0 +1,229 @@
+"""FIO-style micro-benchmark driver (paper §IV-C).
+
+Reproduces the paper's configuration surface: ``rw`` pattern, block
+size, total size, ``fsync=1``, ``direct=1``, ``ioengine=psync`` (one
+outstanding I/O per job), ``numjobs``, and read/write mix. Measures are
+collected per completed I/O and bucketed per simulated second — the same
+"instantaneous throughput / average latency / cumulative written" series
+Figures 4–7 plot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from ..kernel.fd_table import O_CREAT, O_DIRECT, O_RDWR, O_SYNC, O_WRONLY
+from ..sim import Environment
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """One FIO job description (a [job] section)."""
+
+    rw: str = "randwrite"           # write, randwrite, read, randread, randrw
+    block_size: int = 4096
+    size: int = 16 * 1024 * 1024    # bytes transferred per job
+    file_size: Optional[int] = None  # target region (defaults to size)
+    fsync: int = 0                  # fsync every N writes (1 = each write)
+    direct: bool = False            # O_DIRECT
+    o_sync: bool = False            # O_SYNC open flag
+    rwmixread: int = 50             # % reads for randrw
+    numjobs: int = 1
+    seed: int = 42
+
+    def operations(self) -> int:
+        return self.size // self.block_size
+
+    @property
+    def region(self) -> int:
+        return self.file_size if self.file_size is not None else self.size
+
+
+@dataclass
+class FioSeries:
+    """Per-interval series (interval length in simulated seconds)."""
+
+    interval: float
+    time: List[float] = field(default_factory=list)
+    write_throughput: List[float] = field(default_factory=list)  # bytes/s
+    read_throughput: List[float] = field(default_factory=list)
+    average_latency: List[float] = field(default_factory=list)   # since start
+    cumulative_written: List[float] = field(default_factory=list)
+
+
+@dataclass
+class FioResult:
+    """Aggregate results of one fio run."""
+
+    job: FioJob
+    elapsed: float
+    bytes_written: int
+    bytes_read: int
+    write_latencies_sum: float
+    write_count: int
+    read_latencies_sum: float
+    read_count: int
+    completions: List[Tuple[float, int, float, bool]]  # (t, bytes, latency, is_write)
+
+    @property
+    def write_bandwidth(self) -> float:
+        return self.bytes_written / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.bytes_read / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def mean_write_latency(self) -> float:
+        return self.write_latencies_sum / self.write_count if self.write_count else 0.0
+
+    @property
+    def mean_read_latency(self) -> float:
+        return self.read_latencies_sum / self.read_count if self.read_count else 0.0
+
+    def series(self, interval: float = 1.0) -> FioSeries:
+        """Bucket completions into the paper's three curves."""
+        series = FioSeries(interval=interval)
+        if not self.completions:
+            return series
+        horizon = self.completions[-1][0]
+        bucket_end = interval
+        written_in_bucket = 0
+        read_in_bucket = 0
+        cumulative = 0
+        latency_sum = 0.0
+        latency_count = 0
+        index = 0
+        while bucket_end < horizon + interval:
+            while index < len(self.completions) and self.completions[index][0] <= bucket_end:
+                _t, nbytes, latency, is_write = self.completions[index]
+                if is_write:
+                    written_in_bucket += nbytes
+                    cumulative += nbytes
+                else:
+                    read_in_bucket += nbytes
+                latency_sum += latency
+                latency_count += 1
+                index += 1
+            series.time.append(bucket_end)
+            series.write_throughput.append(written_in_bucket / interval)
+            series.read_throughput.append(read_in_bucket / interval)
+            series.average_latency.append(
+                latency_sum / latency_count if latency_count else 0.0)
+            series.cumulative_written.append(cumulative)
+            written_in_bucket = 0
+            read_in_bucket = 0
+            bucket_end += interval
+        return series
+
+
+def run_fio(env: Environment, libc, job: FioJob, path: str = "/fio.dat",
+            settle=None) -> FioResult:
+    """Run a job to completion; returns the result (drives the env).
+
+    Like real fio, the target file is laid out to its full size before
+    the measured phase (so random writes are overwrites, not
+    allocations). ``settle``, if given, is a generator factory run after
+    layout — stacks use it to drain caches so layout traffic does not
+    pollute the measurement (e.g. NVCache's log).
+    """
+    completions: List[Tuple[float, int, float, bool]] = []
+    totals = {"written": 0, "read": 0, "wlat": 0.0, "wcount": 0,
+              "rlat": 0.0, "rcount": 0}
+    timing = {"start": 0.0}
+
+    def open_target(job_index: int) -> Generator:
+        flags = O_CREAT | (O_RDWR if "r" in job.rw or job.rw == "randrw" else O_WRONLY)
+        if job.direct:
+            flags |= O_DIRECT
+        if job.o_sync:
+            flags |= O_SYNC
+        job_path = path if job.numjobs == 1 else f"{path}.{job_index}"
+        fd = yield from libc.open(job_path, flags)
+        return fd
+
+    def layout(job_index: int) -> Generator:
+        fd = yield from open_target(job_index)
+        block = b"\x00" * job.block_size
+        for i in range(max(1, job.region // job.block_size)):
+            yield from libc.pwrite(fd, block, i * job.block_size)
+        yield from libc.fsync(fd)
+        yield from libc.close(fd)
+
+    def one_job(job_index: int) -> Generator:
+        rng = random.Random(job.seed + job_index * 7919)
+        fd = yield from open_target(job_index)
+        block = bytes((job_index + i) % 256 for i in range(job.block_size))
+        blocks_in_region = max(1, job.region // job.block_size)
+        operations = job.operations()
+        start_time = timing["start"]
+        pending_fsync = 0
+        for i in range(operations):
+            if job.rw == "write":
+                offset = i * job.block_size
+                is_write = True
+            elif job.rw == "randwrite":
+                offset = rng.randrange(blocks_in_region) * job.block_size
+                is_write = True
+            elif job.rw == "read":
+                offset = (i % blocks_in_region) * job.block_size
+                is_write = False
+            elif job.rw == "randread":
+                offset = rng.randrange(blocks_in_region) * job.block_size
+                is_write = False
+            elif job.rw == "randrw":
+                offset = rng.randrange(blocks_in_region) * job.block_size
+                is_write = rng.randrange(100) >= job.rwmixread
+            else:
+                raise ValueError(f"unknown rw mode {job.rw!r}")
+            began = env.now
+            if is_write:
+                yield from libc.pwrite(fd, block, offset)
+                pending_fsync += 1
+                if job.fsync and pending_fsync >= job.fsync:
+                    yield from libc.fsync(fd)
+                    pending_fsync = 0
+                latency = env.now - began
+                totals["written"] += job.block_size
+                totals["wlat"] += latency
+                totals["wcount"] += 1
+            else:
+                yield from libc.pread(fd, job.block_size, offset)
+                latency = env.now - began
+                totals["read"] += job.block_size
+                totals["rlat"] += latency
+                totals["rcount"] += 1
+            completions.append((env.now - start_time, job.block_size, latency, is_write))
+        yield from libc.close(fd)
+
+    def all_jobs() -> Generator:
+        layouts = [env.spawn(layout(index), name=f"fio-layout{index}")
+                   for index in range(job.numjobs)]
+        for process in layouts:
+            yield process.join()
+        if settle is not None:
+            yield from settle()
+        timing["start"] = env.now
+        processes = [env.spawn(one_job(index), name=f"fio-job{index}")
+                     for index in range(job.numjobs)]
+        for process in processes:
+            yield process.join()
+
+    env.run_process(all_jobs(), name="fio")
+    completions.sort(key=lambda item: item[0])
+    # Elapsed covers first to last I/O completion — close() teardown
+    # (which drains caches) is not part of the measured run, as in fio.
+    elapsed = completions[-1][0] if completions else 0.0
+    return FioResult(
+        job=job,
+        elapsed=elapsed,
+        bytes_written=totals["written"],
+        bytes_read=totals["read"],
+        write_latencies_sum=totals["wlat"],
+        write_count=totals["wcount"],
+        read_latencies_sum=totals["rlat"],
+        read_count=totals["rcount"],
+        completions=completions,
+    )

@@ -1,0 +1,41 @@
+"""Fixtures: plain-libc and NVCache-libc stacks for application tests."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.core import Nvcache, NvcacheConfig, NvmmLog
+from repro.fs import Ext4
+from repro.kernel import Kernel
+from repro.libc import Libc, NvcacheLibc
+from repro.nvmm import NvmmDevice
+from repro.sim import Environment
+from repro.units import MIB
+
+NV_CONFIG = NvcacheConfig(log_entries=4096, read_cache_pages=64, batch_min=16,
+                          batch_max=256, fd_max=64, cleanup_idle_flush=0.005)
+
+
+def plain_stack(ssd_size=512 * MIB):
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=ssd_size)))
+    return env, kernel, Libc(kernel)
+
+
+def nvcache_stack(ssd_size=512 * MIB):
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=ssd_size)))
+    nvmm = NvmmDevice(env, size=NvmmLog.required_size(NV_CONFIG))
+    nvcache = Nvcache(env, kernel, nvmm, NV_CONFIG)
+    return env, kernel, nvcache, NvcacheLibc(nvcache)
+
+
+@pytest.fixture(params=["plain", "nvcache"])
+def any_libc(request):
+    """Run an app test on both libcs — the legacy-compat property."""
+    if request.param == "plain":
+        env, _kernel, libc = plain_stack()
+    else:
+        env, _kernel, _nv, libc = nvcache_stack()
+    return env, libc

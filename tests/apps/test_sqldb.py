@@ -1,0 +1,255 @@
+"""Tests for MiniSqlite: B-tree correctness, transactions, journal
+crash recovery — on both libcs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import MiniSqlite
+from repro.apps.sqldb import BTree, Pager
+
+from .conftest import plain_stack
+
+
+def test_insert_select_roundtrip(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"id-1", b"row one")
+        value = yield from db.select(b"id-1")
+        yield from db.close()
+        return value
+
+    assert env.run_process(body()) == b"row one"
+
+
+def test_update_in_place(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"k", b"old")
+        yield from db.insert(b"k", b"new")
+        value = yield from db.select(b"k")
+        yield from db.close()
+        return value
+
+    assert env.run_process(body()) == b"new"
+
+
+def test_missing_key_none(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        value = yield from db.select(b"ghost")
+        yield from db.close()
+        return value
+
+    assert env.run_process(body()) is None
+
+
+def test_delete(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"k", b"v")
+        yield from db.delete(b"k")
+        value = yield from db.select(b"k")
+        yield from db.close()
+        return value
+
+    assert env.run_process(body()) is None
+
+
+def test_many_inserts_force_splits(any_libc):
+    env, libc = any_libc
+    n = 800
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.begin()
+        for i in range(n):
+            yield from db.insert(f"key{i:06d}".encode(), f"val{i}".encode() * 4)
+        yield from db.commit()
+        wrong = []
+        for i in range(n):
+            value = yield from db.select(f"key{i:06d}".encode())
+            if value != f"val{i}".encode() * 4:
+                wrong.append(i)
+        pages = db.pager.page_count
+        yield from db.close()
+        return wrong, pages
+
+    wrong, pages = env.run_process(body())
+    assert wrong == []
+    assert pages > 10  # the tree really has internal structure
+
+
+def test_scan_range(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.begin()
+        for i in range(100):
+            yield from db.insert(f"{i:04d}".encode(), f"r{i}".encode())
+        yield from db.commit()
+        rows = yield from db.scan(b"0042", 5)
+        yield from db.close()
+        return rows
+
+    rows = env.run_process(body())
+    assert [key for key, _ in rows] == [b"0042", b"0043", b"0044", b"0045", b"0046"]
+
+
+def test_rollback_discards_changes(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"keep", b"me")
+        yield from db.begin()
+        yield from db.insert(b"drop", b"me")
+        yield from db.insert(b"keep", b"overwritten")
+        yield from db.rollback()
+        kept = yield from db.select(b"keep")
+        dropped = yield from db.select(b"drop")
+        yield from db.close()
+        return kept, dropped
+
+    kept, dropped = env.run_process(body())
+    assert kept == b"me"
+    assert dropped is None
+
+
+def test_explicit_transaction_batches_fsyncs():
+    env, kernel, libc = plain_stack()
+
+    def count_fsyncs(batched):
+        def body():
+            db = yield from MiniSqlite.open(libc, f"/t{batched}.db")
+            device = kernel.vfs.filesystems()[0].device
+            flushes_before = device.stats.flushes
+            if batched:
+                yield from db.begin()
+            for i in range(20):
+                yield from db.insert(f"k{i}".encode(), b"v" * 50)
+            if batched:
+                yield from db.commit()
+            yield from db.close()
+            return device.stats.flushes - flushes_before
+
+        return env.run_process(body())
+
+    autocommit_flushes = count_fsyncs(False)
+    batched_flushes = count_fsyncs(True)
+    assert batched_flushes < autocommit_flushes / 5
+
+
+def test_journal_recovery_rolls_back_crashed_transaction():
+    """Crash after the journal is durable but before the commit point:
+    reopening must restore the pre-transaction state."""
+    env, kernel, libc = plain_stack()
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"stable", b"committed")
+        # Start a transaction and stop half-way: journal written+fsynced,
+        # dirty pages written, but the journal NOT deleted.
+        yield from db.pager.begin()
+        yield from db.tree.insert(b"torn", b"half-done")
+        yield from libc.fsync(db.pager._journal_fd)
+        for number in sorted(db.pager._dirty):
+            yield from libc.pwrite(db.pager.fd, db.pager._dirty[number],
+                                   number * 4096)
+        yield from db.pager._write_header_direct()
+        yield from libc.close(db.pager._journal_fd)
+        yield from libc.close(db.pager.fd)
+        # "Crash": reopen — the hot journal must be replayed.
+        db2 = yield from MiniSqlite.open(libc, "/t.db")
+        stable = yield from db2.select(b"stable")
+        torn = yield from db2.select(b"torn")
+        rollbacks = db2.pager.rollbacks
+        yield from db2.close()
+        return stable, torn, rollbacks
+
+    stable, torn, rollbacks = env.run_process(body())
+    assert stable == b"committed"
+    assert torn is None
+    assert rollbacks == 1
+
+
+def test_committed_transaction_survives_reopen(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"persists", b"across-reopen")
+        yield from db.close()
+        db2 = yield from MiniSqlite.open(libc, "/t.db")
+        value = yield from db2.select(b"persists")
+        yield from db2.close()
+        return value
+
+    assert env.run_process(body()) == b"across-reopen"
+
+
+def test_write_outside_transaction_rejected():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        pager = yield from Pager.open(libc, "/t.db")
+        tree = BTree(pager)
+        yield from tree.insert(b"k", b"v")  # no begin()
+
+    with pytest.raises(RuntimeError):
+        env.run_process(body())
+
+
+def test_oversized_value_rejected():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.insert(b"k", b"x" * 4000)
+
+    with pytest.raises(ValueError):
+        env.run_process(body())
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(0, 40),
+              st.binary(min_size=1, max_size=60)),
+    min_size=1, max_size=80))
+def test_property_btree_matches_dict(ops):
+    env, _kernel, libc = plain_stack()
+    model = {}
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/t.db")
+        yield from db.begin()
+        for op, key_id, value in ops:
+            key = f"key{key_id:03d}".encode()
+            if op == "insert":
+                yield from db.insert(key, value)
+                model[key] = value
+            else:
+                yield from db.delete(key)
+                model.pop(key, None)
+        yield from db.commit()
+        for key_id in range(41):
+            key = f"key{key_id:03d}".encode()
+            actual = yield from db.select(key)
+            assert actual == model.get(key)
+        # Scans agree with the model too.
+        rows = yield from db.scan(b"", 1000)
+        assert rows == sorted(model.items())
+        yield from db.close()
+        return True
+
+    assert env.run_process(body()) is True

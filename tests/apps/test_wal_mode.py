@@ -1,0 +1,172 @@
+"""Tests for MiniSqlite's WAL journal mode (extension)."""
+
+import pytest
+
+from repro.apps import MiniSqlite
+
+from .conftest import plain_stack
+
+
+def open_wal(libc, path="/w.db"):
+    db = yield from MiniSqlite.open(libc, path, journal_mode="wal")
+    return db
+
+
+def test_wal_roundtrip(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from open_wal(libc)
+        yield from db.insert(b"k", b"wal value")
+        value = yield from db.select(b"k")
+        yield from db.close()
+        return value
+
+    assert env.run_process(body()) == b"wal value"
+
+
+def test_wal_survives_reopen(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from open_wal(libc)
+        for i in range(30):
+            yield from db.insert(f"k{i:03d}".encode(), f"v{i}".encode())
+        yield from db.close()
+        db2 = yield from open_wal(libc)
+        values = []
+        for i in range(30):
+            values.append((yield from db2.select(f"k{i:03d}".encode())))
+        yield from db2.close()
+        return values
+
+    assert env.run_process(body()) == [f"v{i}".encode() for i in range(30)]
+
+
+def test_wal_one_fsync_per_transaction():
+    env, kernel, libc = plain_stack()
+
+    def count_flushes(mode):
+        def body():
+            db = yield from MiniSqlite.open(libc, f"/{mode}.db",
+                                            journal_mode=mode)
+            device = kernel.vfs.filesystems()[0].device
+            before = device.stats.flushes
+            for i in range(20):
+                yield from db.insert(f"k{i}".encode(), b"v" * 40)
+            flushes = device.stats.flushes - before
+            yield from db.close()
+            return flushes
+
+        return env.run_process(body())
+
+    wal_flushes = count_flushes("wal")
+    delete_flushes = count_flushes("delete")
+    # Rollback mode: 2 fsyncs/txn; WAL: 1 (plus rare checkpoints).
+    assert wal_flushes < delete_flushes * 0.7
+
+
+def test_wal_recovery_without_clean_close():
+    """Commits are durable from the WAL alone: reopen without close."""
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/w.db", journal_mode="wal")
+        yield from db.insert(b"committed", b"in wal only")
+        # no close, no checkpoint: the main db file has nothing yet
+        db2 = yield from MiniSqlite.open(libc, "/w.db", journal_mode="wal")
+        value = yield from db2.select(b"committed")
+        yield from db2.close()
+        return value
+
+    assert env.run_process(body()) == b"in wal only"
+
+
+def test_wal_torn_tail_discarded():
+    """A transaction whose commit frame never hit the WAL rolls back."""
+    env, kernel, libc = plain_stack()
+    from repro.kernel import O_APPEND, O_WRONLY
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/w.db", journal_mode="wal")
+        yield from db.insert(b"whole", b"txn")
+        wal_path = db.pager.wal_path
+        # Simulate a torn append: a frame without the commit flag.
+        fd = yield from kernel.open(wal_path, O_WRONLY | O_APPEND)
+        import struct
+        yield from kernel.write(fd, struct.pack("<II", 5, 0) + b"\xff" * 4096)
+        yield from kernel.close(fd)
+        db2 = yield from MiniSqlite.open(libc, "/w.db", journal_mode="wal")
+        whole = yield from db2.select(b"whole")
+        yield from db2.close()
+        return whole
+
+    assert env.run_process(body()) == b"txn"
+
+
+def test_wal_checkpoint_truncates_and_persists():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/w.db", journal_mode="wal")
+        db.pager.checkpoint_frames = 8  # force early checkpoints
+        for i in range(40):
+            yield from db.insert(f"k{i:03d}".encode(), b"c" * 50)
+        checkpoints = db.pager.checkpoints
+        value = yield from db.select(b"k005")
+        yield from db.close()
+        return checkpoints, value
+
+    checkpoints, value = env.run_process(body())
+    assert checkpoints >= 2
+    assert value == b"c" * 50
+
+
+def test_wal_rollback(any_libc):
+    env, libc = any_libc
+
+    def body():
+        db = yield from open_wal(libc)
+        yield from db.insert(b"keep", b"v1")
+        yield from db.begin()
+        yield from db.insert(b"keep", b"v2")
+        yield from db.insert(b"drop", b"x")
+        yield from db.rollback()
+        kept = yield from db.select(b"keep")
+        dropped = yield from db.select(b"drop")
+        yield from db.close()
+        return kept, dropped
+
+    kept, dropped = env.run_process(body())
+    assert kept == b"v1"
+    assert dropped is None
+
+
+def test_unknown_journal_mode_rejected():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        yield from MiniSqlite.open(libc, "/x.db", journal_mode="memory")
+
+    with pytest.raises(ValueError):
+        env.run_process(body())
+
+
+def test_wal_mode_faster_than_delete_mode_on_ssd():
+    """The extension's point: WAL narrows the gap NVCache exploits."""
+    env, _kernel, libc = plain_stack()
+
+    def timed(mode):
+        def body():
+            db = yield from MiniSqlite.open(libc, f"/t-{mode}.db",
+                                            journal_mode=mode)
+            start = env.now
+            for i in range(30):
+                yield from db.insert(f"k{i}".encode(), b"p" * 60)
+            elapsed = env.now - start
+            yield from db.close()
+            return elapsed
+
+        return env.run_process(body())
+
+    assert timed("wal") < timed("delete")

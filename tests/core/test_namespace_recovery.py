@@ -1,0 +1,153 @@
+"""Recovery ordering for namespace operations (unlink/truncate/rename).
+
+These cover the extension documented in DESIGN.md: namespace ops are
+logged so that crash recovery replays them in order with data writes —
+without this, a crash could resurrect a deleted rollback journal or
+un-truncate a file.
+"""
+
+from repro.kernel import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, KernelError
+from repro.kernel.errno import ENOENT
+
+from .test_recovery import CFG, crash_and_recover, fresh_stack, read_file
+
+
+def test_unlink_replayed_after_writes():
+    """Write then unlink, crash before propagation: the file must NOT
+    exist after recovery (the journal-resurrection hazard)."""
+    env, kernel, ssd, nvmm, nv = fresh_stack(start_cleanup=False)
+
+    def body():
+        fd = yield from nv.open("/journal", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"rollback data", 0)
+        yield from nv.close(fd)
+        yield from nv.unlink("/journal")
+
+    env.run_process(body())
+    env2, kernel2, report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert report.namespace_ops_replayed == 1
+
+    def check():
+        try:
+            yield from kernel2.open("/journal", O_RDONLY)
+        except KernelError as exc:
+            return exc.errno
+        return None
+
+    assert env2.run_process(check()) == ENOENT
+
+
+def test_unlink_then_recreate_same_path():
+    """The SQLite journal pattern: journal written, deleted, recreated
+    with new content, crash. Recovery must end with ONLY the new
+    content."""
+    env, kernel, ssd, nvmm, nv = fresh_stack(start_cleanup=False)
+
+    def body():
+        fd = yield from nv.open("/j", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"OLD-TXN-1-GARBAGE", 0)
+        yield from nv.close(fd)
+        yield from nv.unlink("/j")
+        fd = yield from nv.open("/j", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"NEW", 0)
+
+    env.run_process(body())
+    env2, kernel2, _report = crash_and_recover(env, kernel, ssd, nvmm)
+    data = read_file(env2, kernel2, "/j", 64)
+    assert data == b"NEW"
+    assert b"GARBAGE" not in data
+
+
+def test_truncate_replayed_in_order():
+    # Cleanup runs (ftruncate drains pending entries first), then stops
+    # so the truncate op + the post-truncate write stay in the log.
+    env, kernel, ssd, nvmm, nv = fresh_stack()
+
+    def body():
+        fd = yield from nv.open("/f", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"0123456789", 0)
+        yield from nv.ftruncate(fd, 4)
+        nv.cleanup.stop()
+        yield from nv.pwrite(fd, b"AB", 0)
+
+    env.run_process(body())
+    assert nv.log.used() >= 2  # the op entry + the new write
+    env2, kernel2, report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert report.namespace_ops_replayed == 1
+    assert read_file(env2, kernel2, "/f", 64) == b"AB23"
+
+
+def test_open_trunc_replayed():
+    env, kernel, ssd, nvmm, nv = fresh_stack()
+
+    def body():
+        fd = yield from nv.open("/f", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"long old content", 0)
+        yield from nv.close(fd)
+        fd = yield from nv.open("/f", O_WRONLY | O_TRUNC)
+        nv.cleanup.stop()
+        yield from nv.pwrite(fd, b"new", 0)
+
+    env.run_process(body())
+    env2, kernel2, _report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert read_file(env2, kernel2, "/f", 64) == b"new"
+
+
+def test_rename_replayed():
+    env, kernel, ssd, nvmm, nv = fresh_stack(start_cleanup=False)
+
+    def body():
+        fd = yield from nv.open("/manifest.tmp", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"table list v2", 0)
+        yield from nv.close(fd)
+        yield from nv.rename("/manifest.tmp", "/MANIFEST")
+
+    env.run_process(body())
+    env2, kernel2, report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert report.namespace_ops_replayed == 1
+    assert read_file(env2, kernel2, "/MANIFEST", 64) == b"table list v2"
+
+    def old_gone():
+        try:
+            yield from kernel2.open("/manifest.tmp", O_RDONLY)
+        except KernelError as exc:
+            return exc.errno
+        return None
+
+    assert env2.run_process(old_gone()) == ENOENT
+
+
+def test_deferred_close_keeps_fd_binding_for_recovery():
+    """Close with pending entries, crash: the path binding must still be
+    in NVMM so the entries are replayed."""
+    env, kernel, ssd, nvmm, nv = fresh_stack(start_cleanup=False)
+
+    def body():
+        fd = yield from nv.open("/pending", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"survives close+crash", 0)
+        yield from nv.close(fd)  # deferred: cleanup is off
+
+    env.run_process(body())
+    assert nv.tables.deferred_close
+    env2, kernel2, report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert report.entries_applied == 1
+    assert read_file(env2, kernel2, "/pending", 64) == b"survives close+crash"
+
+
+def test_retired_fd_not_replayed():
+    """After the cleanup thread retires and finalizes a closed fd, its
+    path slot is cleared: recovery replays nothing for it."""
+    env, kernel, ssd, nvmm, nv = fresh_stack()
+
+    def body():
+        fd = yield from nv.open("/done", O_CREAT | O_WRONLY)
+        yield from nv.pwrite(fd, b"already on disk", 0)
+        yield from nv.close(fd)
+        yield nv.cleanup.request_drain()
+        yield env.timeout(0.05)  # let finalization run
+
+    env.run_process(body())
+    assert nv.log.all_paths() == {}
+    env2, kernel2, report = crash_and_recover(env, kernel, ssd, nvmm)
+    assert report.entries_applied == 0
+    assert read_file(env2, kernel2, "/done", 64) == b"already on disk"

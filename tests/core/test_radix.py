@@ -1,0 +1,77 @@
+"""Unit and property tests for the radix tree."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.core import RadixTree
+
+
+def test_empty_tree():
+    tree = RadixTree()
+    assert tree.get(0) is None
+    assert tree.get(10**9) is None
+    assert len(tree) == 0
+
+
+def test_insert_and_get():
+    tree = RadixTree()
+    value = tree.get_or_create(5, lambda: "five")
+    assert value == "five"
+    assert tree.get(5) == "five"
+    assert len(tree) == 1
+
+
+def test_get_or_create_idempotent():
+    tree = RadixTree()
+    first = tree.get_or_create(7, lambda: object())
+    second = tree.get_or_create(7, lambda: object())
+    assert first is second
+    assert len(tree) == 1
+
+
+def test_grows_for_large_keys():
+    tree = RadixTree()
+    tree.get_or_create(3, lambda: "small")
+    tree.get_or_create(10**7, lambda: "large")
+    assert tree.get(3) == "small"
+    assert tree.get(10**7) == "large"
+
+
+def test_negative_key_rejected():
+    tree = RadixTree()
+    with pytest.raises(ValueError):
+        tree.get(-1)
+    with pytest.raises(ValueError):
+        tree.get_or_create(-5, lambda: None)
+
+
+def test_items_sorted():
+    tree = RadixTree()
+    keys = [100, 3, 50000, 7, 0, 64, 65]
+    for key in keys:
+        tree.get_or_create(key, lambda k=key: f"v{k}")
+    assert [k for k, _v in tree.items()] == sorted(keys)
+    assert dict(tree.items())[50000] == "v50000"
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**40), max_size=200))
+def test_property_roundtrip(keys):
+    tree = RadixTree()
+    for key in keys:
+        tree.get_or_create(key, lambda k=key: k * 2)
+    for key in keys:
+        assert tree.get(key) == key * 2
+    assert len(tree) == len(keys)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
+def test_property_missing_keys_absent(keys):
+    tree = RadixTree()
+    present = set(keys[::2])
+    for key in present:
+        tree.get_or_create(key, lambda: True)
+    for key in keys:
+        if key not in present:
+            assert tree.get(key) is None

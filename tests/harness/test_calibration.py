@@ -1,0 +1,85 @@
+"""Calibration tests: the simulated stacks must land on the paper's
+measured performance (Fig 4 anchors), within generous tolerances.
+
+These are the guardrails for the cost model in repro.kernel.costs and
+the per-filesystem overhead constants: if a refactor breaks the shape of
+the reproduction, these tests fail before the benchmarks do.
+"""
+
+import pytest
+
+from repro.harness import Scale, build_stack, nvcache_config
+from repro.units import MIB
+from repro.workloads import FioJob, run_fio
+
+SCALE = Scale(2048)  # small and fast; rates are size-independent
+
+
+def sync_randwrite_bw(name: str) -> float:
+    """4 KiB random writes, fsync=1, direct=1 — the Fig 4 configuration."""
+    config = None
+    if name.startswith("nvcache"):
+        config = nvcache_config(SCALE)  # 32 MiB log: never saturates here
+    stack = build_stack(name, SCALE, config=config)
+    job = FioJob(rw="randwrite", block_size=4096, size=4 * MIB,
+                 file_size=8 * MIB, fsync=1, direct=True)
+    result = run_fio(stack.env, stack.libc, job, settle=stack.settle)
+    return result.write_bandwidth
+
+
+@pytest.fixture(scope="module")
+def rates():
+    names = ("nvcache+ssd", "nova", "dm-writecache+ssd", "ext4-dax",
+             "ssd", "tmpfs")
+    return {name: sync_randwrite_bw(name) for name in names}
+
+
+def test_nvcache_near_paper_rate(rates):
+    # Paper: ~493-556 MiB/s.
+    assert 380 * MIB < rates["nvcache+ssd"] < 700 * MIB
+
+
+def test_nova_near_paper_rate(rates):
+    # Paper: ~403 MiB/s.
+    assert 300 * MIB < rates["nova"] < 520 * MIB
+
+
+def test_dm_writecache_near_paper_rate(rates):
+    # Paper: 20 GiB in 71 s -> ~288 MiB/s.
+    assert 200 * MIB < rates["dm-writecache+ssd"] < 380 * MIB
+
+
+def test_ext4_dax_near_paper_rate(rates):
+    # Paper: 20 GiB in 149 s -> ~137 MiB/s.
+    assert 100 * MIB < rates["ext4-dax"] < 190 * MIB
+
+
+def test_ssd_near_paper_rate(rates):
+    # Paper: 20 GiB in >22 min -> ~15 MiB/s.
+    assert 8 * MIB < rates["ssd"] < 25 * MIB
+
+
+def test_paper_fig4_ordering(rates):
+    """The headline ordering of Fig 4."""
+    assert (rates["tmpfs"] > rates["nvcache+ssd"] > rates["nova"]
+            > rates["dm-writecache+ssd"] > rates["ext4-dax"] > rates["ssd"])
+
+
+def test_nvcache_at_least_1_9x_other_large_storage(rates):
+    """§IV-B: among large-storage systems NVCACHE+SSD is consistently at
+    least 1.9x faster than DM-WriteCache and the raw SSD."""
+    assert rates["nvcache+ssd"] > 1.9 * rates["dm-writecache+ssd"] * 0.9
+    assert rates["nvcache+ssd"] > 1.9 * rates["ssd"]
+
+
+def test_ssd_drain_rate_near_80mib():
+    """Fig 5: post-saturation throughput equals the SSD's batched random
+    write rate, ~80 MiB/s."""
+    config = nvcache_config(SCALE, log_bytes=256 * 4096,  # tiny log
+                            batch_min=64, batch_max=256)
+    stack = build_stack("nvcache+ssd", SCALE, config=config)
+    job = FioJob(rw="randwrite", block_size=4096, size=8 * MIB,
+                 file_size=64 * MIB, fsync=1, direct=True)
+    result = run_fio(stack.env, stack.libc, job, settle=stack.settle)
+    # The run is saturation-dominated: overall bw ~ drain rate.
+    assert 45 * MIB < result.write_bandwidth < 110 * MIB

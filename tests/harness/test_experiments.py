@@ -1,0 +1,95 @@
+"""Smoke tests for the per-figure experiment drivers at a tiny scale
+(the benchmarks run them at full scale with shape assertions)."""
+
+import pytest
+
+from repro.harness import (
+    Scale,
+    fig3_db_bench,
+    fig4_comparative_behavior,
+    fig5_log_saturation,
+    fig6_batching,
+    fig7_read_cache_size,
+    format_fio_comparison,
+    format_table,
+    mib_per_s,
+    saturation_point,
+    sparkline,
+)
+from repro.units import MIB
+
+TINY = Scale(16384)
+
+
+def test_fig4_returns_all_systems():
+    results = fig4_comparative_behavior(TINY, systems=("nvcache+ssd", "ssd"))
+    assert set(results) == {"nvcache+ssd", "ssd"}
+    assert results["nvcache+ssd"].write_bandwidth > results["ssd"].write_bandwidth
+    # rates are scale-independent
+    assert results["nvcache+ssd"].write_bandwidth > 300 * MIB
+
+
+def test_fig5_smaller_log_is_slower():
+    results = fig5_log_saturation(TINY)
+    bandwidths = [result.write_bandwidth for result in results.values()]
+    assert bandwidths == sorted(bandwidths)
+
+
+def test_fig6_batch1_worst():
+    results = fig6_batching(TINY, batch_sizes=(1, 100))
+    assert results["batch=1"].write_bandwidth < results["batch=100"].write_bandwidth
+
+
+def test_fig7_runs():
+    results = fig7_read_cache_size(TINY, cache_pages=(100, 10_000))
+    for result in results.values():
+        assert result.bytes_read > 0
+        assert result.bytes_written > 0
+
+
+def test_fig3_kv_tiny():
+    result = fig3_db_bench("kvstore", TINY, systems=("nvcache+ssd", "ssd"),
+                           num=150, benchmarks=("fillrandom", "readrandom"))
+    assert result.ops("nvcache+ssd", "fillrandom") > result.ops("ssd", "fillrandom")
+    assert result.ops("nvcache+ssd", "readrandom") > 0
+
+
+def test_fig3_sql_tiny():
+    result = fig3_db_bench("sqldb", TINY, systems=("nvcache+ssd", "nova"),
+                           num=60, benchmarks=("fillrandom",))
+    assert result.ops("nvcache+ssd", "fillrandom") > result.ops("nova", "fillrandom")
+
+
+def test_fig3_unknown_application():
+    with pytest.raises(ValueError):
+        fig3_db_bench("postgres", TINY, systems=("ssd",), num=5,
+                      benchmarks=("fillrandom",))
+
+
+def test_saturation_point_flat_series_none():
+    results = fig4_comparative_behavior(TINY, systems=("nvcache+ssd",))
+    assert saturation_point(results["nvcache+ssd"]) is None
+
+
+# -- reporting helpers --------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "yyyy" in lines[-1]
+    assert len(set(len(line) for line in lines[2:])) == 1  # aligned rows
+
+
+def test_mib_per_s():
+    assert mib_per_s(512 * MIB) == "512.0 MiB/s"
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    flat = sparkline([5.0] * 10)
+    assert len(set(flat)) == 1
+    ramp = sparkline(list(range(100)), width=10)
+    assert len(ramp) == 10
+    assert ramp[0] != ramp[-1]

@@ -1,0 +1,30 @@
+"""Shared fixtures: a kernel with Ext4-on-SSD mounted at /."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.fs import Ext4
+from repro.kernel import Kernel
+from repro.sim import Environment
+from repro.units import MIB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def ssd(env):
+    return SsdDevice(env, size=512 * MIB)
+
+
+@pytest.fixture
+def kernel(env, ssd):
+    k = Kernel(env)
+    k.mount("/", Ext4(env, ssd))
+    return k
+
+
+def run(env, gen):
+    return env.run_process(gen)

@@ -1,0 +1,219 @@
+"""Unit tests for the kernel page cache: coherence, combining, writeback,
+eviction — the properties NVCache's design leans on."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.fs import Ext4
+from repro.kernel import PageCache, PAGE_SIZE
+from repro.sim import Environment
+from repro.units import MIB
+
+from .conftest import run
+
+
+@pytest.fixture
+def setup(env):
+    ssd = SsdDevice(env, size=256 * MIB)
+    fs = Ext4(env, ssd)
+    cache = PageCache(env)
+    inode = fs.create("/f")
+    return ssd, fs, cache, inode
+
+
+def test_read_after_write_coherence(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 10, b"hello")
+        data = yield from cache.read(fs, inode, 10, 5)
+        return data
+
+    assert run(env, body()) == b"hello"
+
+
+def test_write_does_not_touch_device(env, setup):
+    ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"x" * PAGE_SIZE)
+
+    run(env, body())
+    assert ssd.stats.writes == 0
+    assert cache.dirty_page_count(fs, inode) == 1
+
+
+def test_fsync_writes_dirty_pages_and_commits(env, setup):
+    ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"a" * PAGE_SIZE)
+        yield from cache.write(fs, inode, PAGE_SIZE, b"b" * PAGE_SIZE)
+        yield from cache.fsync(fs, inode)
+
+    run(env, body())
+    # 2 data pages + 1 journal commit record
+    assert ssd.stats.writes == 3
+    assert ssd.stats.flushes == 1
+    assert cache.dirty_page_count(fs, inode) == 0
+
+
+def test_write_combining_one_device_write_per_page(env, setup):
+    """The effect behind the paper's batching gains (Fig 6): many small
+    writes to the same page produce ONE device write at fsync."""
+    ssd, fs, cache, inode = setup
+
+    def body():
+        for i in range(32):
+            yield from cache.write(fs, inode, i * 128, b"w" * 128)
+        yield from cache.fsync(fs, inode)
+
+    run(env, body())
+    # 32 x 128B = one 4 KiB page -> 1 data write + 1 journal record
+    assert ssd.stats.writes == 2
+    assert cache.stats.dirty_combines == 31
+
+
+def test_fsync_only_flushes_that_inode(env, setup):
+    ssd, fs, cache, inode = setup
+    other = fs.create("/g")
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"a" * PAGE_SIZE)
+        yield from cache.write(fs, other, 0, b"b" * PAGE_SIZE)
+        yield from cache.fsync(fs, inode)
+
+    run(env, body())
+    assert cache.dirty_page_count(fs, inode) == 0
+    assert cache.dirty_page_count(fs, other) == 1
+
+
+def test_partial_page_write_preserves_rest(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"A" * PAGE_SIZE)
+        yield from cache.fsync(fs, inode)
+        cache.crash()  # drop the cache: force a re-read from the device
+        yield from cache.write(fs, inode, 100, b"B" * 10)
+        data = yield from cache.read(fs, inode, 0, PAGE_SIZE)
+        return data
+
+    data = run(env, body())
+    assert data[:100] == b"A" * 100
+    assert data[100:110] == b"B" * 10
+    assert data[110:] == b"A" * (PAGE_SIZE - 110)
+
+
+def test_read_clipped_at_size(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"12345")
+        data = yield from cache.read(fs, inode, 0, PAGE_SIZE)
+        return data
+
+    assert run(env, body()) == b"12345"
+
+
+def test_read_past_eof_empty(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"12345")
+        data = yield from cache.read(fs, inode, 100, 10)
+        return data
+
+    assert run(env, body()) == b""
+
+
+def test_hit_miss_stats(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"z" * PAGE_SIZE)
+        yield from cache.read(fs, inode, 0, 10)  # hit
+        yield from cache.fsync(fs, inode)
+        cache.crash()
+        yield from cache.read(fs, inode, 0, 10)  # miss
+
+    run(env, body())
+    assert cache.stats.hits >= 1
+    assert cache.stats.misses >= 1
+
+
+def test_eviction_under_pressure(env):
+    ssd = SsdDevice(env, size=256 * MIB)
+    fs = Ext4(env, ssd)
+    cache = PageCache(env, capacity_pages=8)
+    inode = fs.create("/big")
+
+    def body():
+        for i in range(32):
+            yield from cache.write(fs, inode, i * PAGE_SIZE, b"e" * PAGE_SIZE)
+        # Everything is dirty, so eviction had to write back old pages.
+        data = yield from cache.read(fs, inode, 0, PAGE_SIZE)
+        return data
+
+    data = run(env, body())
+    assert data == b"e" * PAGE_SIZE
+    assert cache.cached_page_count() <= 9
+    assert cache.stats.evictions >= 24
+
+
+def test_writeback_pass_cleans_without_barrier(env, setup):
+    ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"w" * PAGE_SIZE)
+        yield from cache.writeback_pass()
+
+    run(env, body())
+    assert cache.dirty_page_count() == 0
+    assert ssd.stats.writes == 1
+    assert ssd.stats.flushes == 0  # no barrier: plain writeback
+
+
+def test_writeback_daemon_cleans_aged_pages(env, setup):
+    _ssd, fs, cache, inode = setup
+    cache.writeback_interval = 1.0
+    cache.start_writeback_daemon()
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"d" * PAGE_SIZE)
+        yield env.timeout(3.0)
+        return cache.dirty_page_count()
+
+    assert run(env, body()) == 0
+
+
+def test_crash_drops_everything(env, setup):
+    _ssd, fs, cache, inode = setup
+
+    def body():
+        yield from cache.write(fs, inode, 0, b"gone" * 1024)
+
+    run(env, body())
+    cache.crash()
+    assert cache.cached_page_count() == 0
+    assert cache.dirty_page_count() == 0
+
+
+def test_fsync_writes_pages_in_ascending_order(env, setup):
+    ssd, fs, cache, inode = setup
+    order = []
+    original = fs.write_page
+
+    def spy(inode_arg, index, data):
+        order.append(index)
+        return original(inode_arg, index, data)
+
+    fs.write_page = spy
+
+    def body():
+        for index in (5, 1, 3, 2, 4):
+            yield from cache.write(fs, inode, index * PAGE_SIZE, b"o" * PAGE_SIZE)
+        yield from cache.fsync(fs, inode)
+
+    run(env, body())
+    assert order == sorted(order)

@@ -1,0 +1,224 @@
+"""Edge-case coverage for the syscall layer and the writeback machinery."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.fs import Ext4, Tmpfs
+from repro.kernel import (
+    Kernel,
+    KernelError,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    PageCache,
+    SEEK_SET,
+)
+from repro.kernel.errno import EEXIST, EINVAL, EISDIR, ENOENT, ENOTEMPTY
+from repro.sim import Environment
+from repro.units import MIB
+
+from .conftest import run
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def kernel(env):
+    k = Kernel(env)
+    k.mount("/", Ext4(env, SsdDevice(env, size=256 * MIB)))
+    return k
+
+
+def test_open_directory_for_writing_fails(env, kernel):
+    def body():
+        yield from kernel.mkdir("/dir")
+        yield from kernel.open("/dir", O_WRONLY)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EISDIR
+
+
+def test_mkdir_existing_fails(env, kernel):
+    def body():
+        yield from kernel.mkdir("/dir")
+        yield from kernel.mkdir("/dir")
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EEXIST
+
+
+def test_unlink_nonempty_directory_fails(env, kernel):
+    def body():
+        yield from kernel.mkdir("/dir")
+        fd = yield from kernel.open("/dir/file", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        yield from kernel.unlink("/dir")
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == ENOTEMPTY
+
+
+def test_unlink_empty_directory_succeeds(env, kernel):
+    def body():
+        yield from kernel.mkdir("/dir")
+        yield from kernel.unlink("/dir")
+        names = yield from kernel.listdir("/")
+        return names
+
+    assert "dir" not in run(env, body())
+
+
+def test_rename_replaces_existing_target(env, kernel):
+    def body():
+        fd = yield from kernel.open("/new", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"new content")
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/old", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"old content")
+        yield from kernel.close(fd)
+        yield from kernel.rename("/new", "/old")
+        fd = yield from kernel.open("/old", O_RDONLY)
+        data = yield from kernel.read(fd, 64)
+        return data
+
+    assert run(env, body()) == b"new content"
+
+
+def test_rename_missing_source_fails(env, kernel):
+    def body():
+        yield from kernel.rename("/ghost", "/anything")
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == ENOENT
+
+
+def test_cross_filesystem_rename_rejected(env, kernel):
+    kernel.mount("/tmp", Tmpfs(env))
+
+    def body():
+        fd = yield from kernel.open("/file", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        yield from kernel.rename("/file", "/tmp/file")
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EINVAL
+
+
+def test_pread_negative_offset_rejected(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.pread(fd, 4, -1)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EINVAL
+
+
+def test_ftruncate_negative_rejected(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.ftruncate(fd, -5)
+
+    with pytest.raises(KernelError):
+        run(env, body())
+
+
+def test_write_empty_buffer(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        written = yield from kernel.write(fd, b"")
+        st = yield from kernel.fstat(fd)
+        return written, st.st_size
+
+    assert run(env, body()) == (0, 0)
+
+
+def test_lseek_beyond_eof_then_write_makes_hole(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.lseek(fd, 10000, SEEK_SET)
+        yield from kernel.write(fd, b"end")
+        data = yield from kernel.pread(fd, 10, 5000)
+        st = yield from kernel.fstat(fd)
+        return data, st.st_size
+
+    data, size = run(env, body())
+    assert data == b"\x00" * 10
+    assert size == 10003
+
+
+def test_sync_flushes_every_filesystem(env, kernel):
+    tmp = Tmpfs(env)
+    kernel.mount("/tmp", tmp)
+
+    def body():
+        fd1 = yield from kernel.open("/a", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd1, b"x" * 4096)
+        fd2 = yield from kernel.open("/tmp/b", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd2, b"y" * 4096)
+        yield from kernel.sync()
+        return kernel.page_cache.dirty_page_count()
+
+    assert run(env, body()) == 0
+
+
+def test_writeback_daemon_respects_min_age(env, kernel):
+    kernel.page_cache.writeback_interval = 0.5
+    kernel.page_cache.start_writeback_daemon()
+
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"young" * 1000)
+        # Immediately after the write the page is too young to clean.
+        yield env.timeout(0.4)
+        young_dirty = kernel.page_cache.dirty_page_count()
+        yield env.timeout(1.5)
+        old_dirty = kernel.page_cache.dirty_page_count()
+        return young_dirty, old_dirty
+
+    young_dirty, old_dirty = run(env, body())
+    assert young_dirty > 0
+    assert old_dirty == 0
+
+
+def test_page_cache_stats_hits_track_locality(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.write(fd, b"z" * 4096)
+        for _ in range(10):
+            yield from kernel.pread(fd, 100, 0)
+        return kernel.page_cache.stats
+
+    stats = run(env, body())
+    assert stats.hits >= 10
+
+
+def test_two_mounts_independent_namespaces(env, kernel):
+    kernel.mount("/tmp", Tmpfs(env))
+
+    def body():
+        fd = yield from kernel.open("/name", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"on ext4")
+        yield from kernel.close(fd)
+        # Same leaf name on the other filesystem is a different file.
+        fd = yield from kernel.open("/tmp/name", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"on tmpfs")
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/name", O_RDONLY)
+        a = yield from kernel.read(fd, 64)
+        fd = yield from kernel.open("/tmp/name", O_RDONLY)
+        b = yield from kernel.read(fd, 64)
+        return a, b
+
+    a, b = run(env, body())
+    assert a == b"on ext4"
+    assert b == b"on tmpfs"

@@ -1,0 +1,359 @@
+"""Integration tests for the syscall layer over Ext4-on-SSD."""
+
+import pytest
+
+from repro.kernel import (
+    KernelError,
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_SYNC,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.kernel.errno import EBADF, EEXIST, ENOENT
+
+from .conftest import run
+
+
+def test_create_write_read_roundtrip(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f.txt", O_CREAT | O_RDWR)
+        n = yield from kernel.write(fd, b"hello world")
+        assert n == 11
+        yield from kernel.lseek(fd, 0, SEEK_SET)
+        data = yield from kernel.read(fd, 100)
+        yield from kernel.close(fd)
+        return data
+
+    assert run(env, body()) == b"hello world"
+
+
+def test_open_missing_without_creat_fails(env, kernel):
+    def body():
+        yield from kernel.open("/missing", O_RDONLY)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == ENOENT
+
+
+def test_open_excl_existing_fails(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        yield from kernel.open("/f", O_CREAT | O_EXCL | O_WRONLY)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EEXIST
+
+
+def test_read_on_writeonly_fd_fails(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.read(fd, 4)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EBADF
+
+
+def test_write_on_readonly_fd_fails(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/f", O_RDONLY)
+        yield from kernel.write(fd, b"nope")
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EBADF
+
+
+def test_bad_fd(env, kernel):
+    def body():
+        yield from kernel.read(42, 1)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == EBADF
+
+
+def test_pread_pwrite_do_not_move_cursor(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.write(fd, b"0123456789")
+        yield from kernel.pwrite(fd, b"XX", 2)
+        pos = yield from kernel.lseek(fd, 0, SEEK_CUR)
+        assert pos == 10
+        data = yield from kernel.pread(fd, 10, 0)
+        assert data == b"01XX456789"
+        pos = yield from kernel.lseek(fd, 0, SEEK_CUR)
+        assert pos == 10
+        return True
+
+    assert run(env, body()) is True
+
+
+def test_read_past_eof_returns_short(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.write(fd, b"abc")
+        data = yield from kernel.pread(fd, 100, 1)
+        assert data == b"bc"
+        data = yield from kernel.pread(fd, 100, 3)
+        assert data == b""
+        data = yield from kernel.pread(fd, 100, 50)
+        return data
+
+    assert run(env, body()) == b""
+
+
+def test_append_mode_always_writes_at_end(env, kernel):
+    def body():
+        fd = yield from kernel.open("/log", O_CREAT | O_WRONLY | O_APPEND)
+        yield from kernel.write(fd, b"one")
+        yield from kernel.lseek(fd, 0, SEEK_SET)
+        yield from kernel.write(fd, b"two")
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/log", O_RDONLY)
+        data = yield from kernel.read(fd, 100)
+        return data
+
+    assert run(env, body()) == b"onetwo"
+
+
+def test_trunc_resets_file(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"old content")
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/f", O_WRONLY | O_TRUNC)
+        stat = yield from kernel.fstat(fd)
+        assert stat.st_size == 0
+        yield from kernel.write(fd, b"new")
+        yield from kernel.close(fd)
+        fd = yield from kernel.open("/f", O_RDONLY)
+        data = yield from kernel.read(fd, 100)
+        return data
+
+    assert run(env, body()) == b"new"
+
+
+def test_lseek_whence_modes(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.write(fd, b"0123456789")
+        assert (yield from kernel.lseek(fd, 4, SEEK_SET)) == 4
+        assert (yield from kernel.lseek(fd, 2, SEEK_CUR)) == 6
+        assert (yield from kernel.lseek(fd, -3, SEEK_END)) == 7
+        return True
+
+    assert run(env, body()) is True
+
+
+def test_lseek_negative_rejected(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.lseek(fd, -5, SEEK_SET)
+
+    with pytest.raises(KernelError):
+        run(env, body())
+
+
+def test_stat_and_fstat(env, kernel):
+    def body():
+        fd = yield from kernel.open("/data", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"x" * 5000)
+        st1 = yield from kernel.fstat(fd)
+        st2 = yield from kernel.stat("/data")
+        return st1, st2
+
+    st1, st2 = run(env, body())
+    assert st1.st_size == 5000
+    assert st2.st_size == 5000
+    assert st1.st_ino == st2.st_ino
+    assert st1.st_dev == st2.st_dev
+
+
+def test_unlink_removes_file(env, kernel):
+    def body():
+        fd = yield from kernel.open("/gone", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        yield from kernel.unlink("/gone")
+        yield from kernel.open("/gone", O_RDONLY)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == ENOENT
+
+
+def test_rename(env, kernel):
+    def body():
+        fd = yield from kernel.open("/a", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"payload")
+        yield from kernel.close(fd)
+        yield from kernel.rename("/a", "/b")
+        fd = yield from kernel.open("/b", O_RDONLY)
+        data = yield from kernel.read(fd, 100)
+        return data
+
+    assert run(env, body()) == b"payload"
+
+
+def test_mkdir_and_nested_files(env, kernel):
+    def body():
+        yield from kernel.mkdir("/dir")
+        yield from kernel.mkdir("/dir/sub")
+        fd = yield from kernel.open("/dir/sub/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"deep")
+        yield from kernel.close(fd)
+        names = yield from kernel.listdir("/dir/sub")
+        return names
+
+    assert run(env, body()) == ["f"]
+
+
+def test_create_in_missing_dir_fails(env, kernel):
+    def body():
+        yield from kernel.open("/no/such/dir/f", O_CREAT | O_WRONLY)
+
+    with pytest.raises(KernelError) as exc:
+        run(env, body())
+    assert exc.value.errno == ENOENT
+
+
+def test_ftruncate(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.write(fd, b"0123456789")
+        yield from kernel.ftruncate(fd, 4)
+        st = yield from kernel.fstat(fd)
+        assert st.st_size == 4
+        data = yield from kernel.pread(fd, 100, 0)
+        return data
+
+    assert run(env, body()) == b"0123"
+
+
+def test_fsync_returns_zero(env, kernel):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"x" * 4096)
+        rc = yield from kernel.fsync(fd)
+        return rc
+
+    assert run(env, body()) == 0
+
+
+def test_osync_write_is_durable(env, kernel, ssd):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY | O_SYNC)
+        yield from kernel.write(fd, b"s" * 4096)
+        return None
+
+    run(env, body())
+    # The data must have reached the device durably (survives both the
+    # page-cache drop and the device-cache drop).
+    kernel.crash()
+    ssd.crash()
+
+    def check():
+        fd = yield from kernel.open("/f", O_RDONLY)
+        data = yield from kernel.read(fd, 4096)
+        return data
+
+    assert run(env, check()) == b"s" * 4096
+
+
+def test_buffered_write_lost_on_crash_before_fsync(env, kernel, ssd):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"v" * 4096)
+        return None
+
+    run(env, body())
+    kernel.crash()
+    ssd.crash()
+
+    def check():
+        fd = yield from kernel.open("/f", O_RDONLY)
+        data = yield from kernel.read(fd, 4096)
+        return data
+
+    data = run(env, check())
+    assert data != b"v" * 4096
+
+
+def test_fsync_makes_write_durable(env, kernel, ssd):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.write(fd, b"d" * 4096)
+        yield from kernel.fsync(fd)
+        return None
+
+    run(env, body())
+    kernel.crash()
+    ssd.crash()
+
+    def check():
+        fd = yield from kernel.open("/f", O_RDONLY)
+        data = yield from kernel.read(fd, 4096)
+        return data
+
+    assert run(env, check()) == b"d" * 4096
+
+
+def test_direct_write_bypasses_page_cache(env, kernel, ssd):
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY | O_DIRECT)
+        yield from kernel.write(fd, b"D" * 4096)
+        return None
+
+    run(env, body())
+    assert kernel.page_cache.dirty_page_count() == 0
+    assert ssd.stats.writes >= 1
+
+
+def test_o_sync_slower_than_buffered(env, kernel):
+    def timed(flags, path):
+        fd = yield from kernel.open(path, O_CREAT | O_WRONLY | flags)
+        start = env.now
+        for i in range(20):
+            yield from kernel.pwrite(fd, b"w" * 4096, i * 4096)
+        return env.now - start
+
+    buffered = run(env, timed(0, "/buffered"))
+    sync = run(env, timed(O_SYNC, "/sync"))
+    assert sync > 10 * buffered
+
+
+def test_flock_tracks_lock_state(env, kernel):
+    from repro.kernel import LOCK_EX, LOCK_UN
+
+    def body():
+        fd = yield from kernel.open("/f", O_CREAT | O_RDWR)
+        yield from kernel.flock(fd, LOCK_EX)
+        open_file = kernel.fds.get(fd)
+        assert open_file.locks
+        yield from kernel.flock(fd, LOCK_UN)
+        return open_file.locks
+
+    assert run(env, body()) == set()
+
+
+def test_syscall_costs_time(env, kernel):
+    def body():
+        start = env.now
+        fd = yield from kernel.open("/f", O_CREAT | O_WRONLY)
+        yield from kernel.close(fd)
+        return env.now - start
+
+    assert run(env, body()) >= 2 * kernel.cpu.syscall

@@ -1,0 +1,143 @@
+"""Tests for the asynchronous I/O extension (paper §III future work)."""
+
+import pytest
+
+from repro.libc import Aio, EINPROGRESS
+from repro.kernel import O_CREAT, O_RDWR, O_WRONLY
+
+from .test_libc import nvcache_stack, plain_stack
+
+
+def test_aio_write_completes_and_returns_count():
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_RDWR)
+        control = aio.aio_write(fd, b"async payload", 0)
+        yield from aio.aio_suspend([control])
+        assert aio.aio_error(control) == 0
+        written = aio.aio_return(control)
+        data = yield from libc.pread(fd, 13, 0)
+        return written, data
+
+    written, data = env.run_process(body())
+    assert written == 13
+    assert data == b"async payload"
+
+
+def test_aio_is_actually_asynchronous():
+    """Submission returns before the I/O completes; the caller overlaps
+    its own work with the write."""
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        start = env.now
+        control = aio.aio_write(fd, b"x" * 65536, 0)
+        submit_cost = env.now - start
+        in_progress = aio.aio_error(control) if not control.done else 0
+        yield from aio.aio_suspend([control])
+        return submit_cost, in_progress, env.now - start
+
+    submit_cost, in_progress, total = env.run_process(body())
+    assert submit_cost == 0.0
+    assert in_progress == EINPROGRESS
+    assert total > 0
+
+
+def test_aio_read():
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_RDWR)
+        yield from libc.pwrite(fd, b"read me async", 0)
+        control = aio.aio_read(fd, 13, 0)
+        yield from aio.aio_suspend([control])
+        return aio.aio_return(control)
+
+    assert env.run_process(body()) == b"read me async"
+
+
+def test_aio_many_concurrent_operations():
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_RDWR)
+        controls = [aio.aio_write(fd, bytes([65 + i]) * 512, i * 512)
+                    for i in range(16)]
+        yield from aio.aio_suspend(controls)
+        data = yield from libc.pread(fd, 16 * 512, 0)
+        return [aio.aio_return(c) for c in controls], data
+
+    counts, data = env.run_process(body())
+    assert counts == [512] * 16
+    for i in range(16):
+        assert data[i * 512:(i + 1) * 512] == bytes([65 + i]) * 512
+
+
+def test_aio_error_propagates_exception():
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        control = aio.aio_write(999, b"bad fd", 0)  # EBADF inside
+        yield from aio.aio_suspend([control])
+        return control
+
+    control = env.run_process(body())
+    with pytest.raises(OSError):
+        aio.aio_error(control)
+    with pytest.raises(OSError):
+        aio.aio_return(control)
+
+
+def test_aio_return_before_completion_rejected():
+    env, _kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        control = aio.aio_write(fd, b"pending", 0)
+        try:
+            aio.aio_return(control)
+        except RuntimeError:
+            yield from aio.aio_suspend([control])
+            return True
+        return False
+
+    assert env.run_process(body()) is True
+
+
+def test_aio_on_nvcache_completion_implies_durability():
+    """The extension's bonus under NVCache: a completed async write is
+    already durable in the NVMM log."""
+    env, _kernel, nvcache, libc = nvcache_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        control = aio.aio_write(fd, b"durable when done", 0)
+        yield from aio.aio_suspend([control])
+        return aio.aio_return(control)
+
+    assert env.run_process(body()) == 17
+    assert nvcache.log.is_committed(0)
+    assert nvcache.log.read_data(0) == b"durable when done"
+
+
+def test_aio_fsync():
+    env, kernel, libc = plain_stack()
+    aio = Aio(libc)
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        yield from libc.write(fd, b"z" * 4096)
+        control = aio.aio_fsync(fd)
+        yield from aio.aio_suspend([control])
+        return kernel.page_cache.dirty_page_count()
+
+    assert env.run_process(body()) == 0

@@ -1,0 +1,203 @@
+"""Tests for the libc facades: passthrough, interposition, stdio."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.core import Nvcache, NvcacheConfig, NvmmLog
+from repro.fs import Ext4
+from repro.kernel import Kernel, O_CREAT, O_RDONLY, O_RDWR, O_WRONLY, SEEK_SET
+from repro.libc import Libc, NvcacheLibc, Stdio
+from repro.nvmm import NvmmDevice
+from repro.sim import Environment
+from repro.units import MIB
+
+CFG = NvcacheConfig(log_entries=128, read_cache_pages=16, batch_min=2,
+                    batch_max=16, fd_max=32, cleanup_idle_flush=0.01)
+
+
+def plain_stack():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=128 * MIB)))
+    return env, kernel, Libc(kernel)
+
+
+def nvcache_stack():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=128 * MIB)))
+    nvmm = NvmmDevice(env, size=NvmmLog.required_size(CFG))
+    nvcache = Nvcache(env, kernel, nvmm, CFG)
+    return env, kernel, nvcache, NvcacheLibc(nvcache)
+
+
+def test_plain_libc_roundtrip():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_RDWR)
+        yield from libc.write(fd, b"plain")
+        yield from libc.lseek(fd, 0, SEEK_SET)
+        data = yield from libc.read(fd, 5)
+        yield from libc.close(fd)
+        return data
+
+    assert env.run_process(body()) == b"plain"
+
+
+def test_apps_run_unmodified_on_both_libcs():
+    """The legacy-compatibility claim: the same application code runs on
+    stock libc and on NVCache's libc and produces identical results."""
+
+    def application(libc):
+        fd = yield from libc.open("/app.db", O_CREAT | O_RDWR)
+        yield from libc.pwrite(fd, b"record-1|", 0)
+        yield from libc.pwrite(fd, b"record-2|", 9)
+        yield from libc.fsync(fd)
+        st = yield from libc.fstat(fd)
+        data = yield from libc.pread(fd, st.st_size, 0)
+        yield from libc.close(fd)
+        return data
+
+    env1, _k1, plain = plain_stack()
+    plain_result = env1.run_process(application(plain))
+    env2, _k2, _nv, nvlibc = nvcache_stack()
+    nv_result = env2.run_process(application(nvlibc))
+    assert plain_result == nv_result == b"record-1|record-2|"
+
+
+def test_nvcache_libc_routes_through_cache():
+    env, _kernel, nvcache, libc = nvcache_stack()
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        yield from libc.write(fd, b"via nvcache")
+
+    env.run_process(body())
+    assert nvcache.stats.writes == 1
+    assert nvcache.log.is_committed(0)
+
+
+def test_nvcache_libc_fsync_is_free():
+    env, _kernel, nvcache, libc = nvcache_stack()
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        yield from libc.write(fd, b"x" * 4096)
+        start = env.now
+        yield from libc.fsync(fd)
+        return env.now - start
+
+    assert env.run_process(body()) == 0.0
+    assert nvcache.stats.fsyncs_ignored == 1
+
+
+def test_plain_libc_fsync_costs_time():
+    env, _kernel, libc = plain_stack()
+
+    def body():
+        fd = yield from libc.open("/f", O_CREAT | O_WRONLY)
+        yield from libc.write(fd, b"x" * 4096)
+        start = env.now
+        yield from libc.fsync(fd)
+        return env.now - start
+
+    assert env.run_process(body()) > 1e-4  # journal commit + disk flush
+
+
+def test_stdio_buffered_on_plain_libc():
+    env, kernel, libc = plain_stack()
+    stdio = Stdio(libc)
+    assert stdio.buffered is True
+
+    def body():
+        stream = yield from stdio.fopen("/s.txt", "w")
+        yield from stdio.fwrite(b"tiny", stream)
+        # Still buffered in user space: kernel has no data yet.
+        st = yield from kernel.stat("/s.txt")
+        assert st.st_size == 0
+        yield from stdio.fclose(stream)
+        st = yield from kernel.stat("/s.txt")
+        return st.st_size
+
+    assert env.run_process(body()) == 4
+
+
+def test_stdio_unbuffered_on_nvcache_libc():
+    """Paper Table III: fwrite becomes unbuffered under NVCache."""
+    env, _kernel, nvcache, libc = nvcache_stack()
+    stdio = Stdio(libc)
+    assert stdio.buffered is False
+
+    def body():
+        stream = yield from stdio.fopen("/s.txt", "w")
+        yield from stdio.fwrite(b"direct", stream)
+        return nvcache.stats.writes
+
+    assert env.run_process(body()) == 1  # hit the cache immediately
+
+
+def test_stdio_fread_fseek_ftell():
+    env, _kernel, libc = plain_stack()
+    stdio = Stdio(libc)
+
+    def body():
+        stream = yield from stdio.fopen("/s.txt", "w+")
+        yield from stdio.fwrite(b"0123456789", stream)
+        yield from stdio.fseek(stream, 2)
+        data = yield from stdio.fread(4, stream)
+        pos = yield from stdio.ftell(stream)
+        yield from stdio.fclose(stream)
+        return data, pos
+
+    data, pos = env.run_process(body())
+    assert data == b"2345"
+    assert pos == 6
+
+
+def test_stdio_large_write_flushes_in_chunks():
+    env, kernel, libc = plain_stack()
+    stdio = Stdio(libc)
+
+    def body():
+        stream = yield from stdio.fopen("/big.txt", "w")
+        yield from stdio.fwrite(b"z" * 20000, stream)
+        st = yield from kernel.stat("/big.txt")
+        buffered_tail = 20000 - st.st_size
+        yield from stdio.fclose(stream)
+        st = yield from kernel.stat("/big.txt")
+        return buffered_tail, st.st_size
+
+    buffered_tail, final = env.run_process(body())
+    assert 0 < buffered_tail < 8192
+    assert final == 20000
+
+
+def test_stdio_bad_mode_rejected():
+    env, _kernel, libc = plain_stack()
+    stdio = Stdio(libc)
+
+    def body():
+        yield from stdio.fopen("/f", "q")
+
+    with pytest.raises(Exception):
+        env.run_process(body())
+
+
+def test_stdio_append_mode():
+    env, _kernel, libc = plain_stack()
+    stdio = Stdio(libc)
+
+    def body():
+        stream = yield from stdio.fopen("/log", "a")
+        yield from stdio.fwrite(b"first", stream)
+        yield from stdio.fclose(stream)
+        stream = yield from stdio.fopen("/log", "a")
+        yield from stdio.fwrite(b"second", stream)
+        yield from stdio.fclose(stream)
+        stream = yield from stdio.fopen("/log", "r")
+        data = yield from stdio.fread(100, stream)
+        yield from stdio.fclose(stream)
+        return data
+
+    assert env.run_process(body()) == b"firstsecond"

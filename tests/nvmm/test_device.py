@@ -1,0 +1,166 @@
+"""Unit tests for the NVMM device model."""
+
+import random
+
+import pytest
+
+from repro.nvmm import NvmmDevice, NvmmTiming
+from repro.sim import Environment
+from repro.units import CACHE_LINE_SIZE
+
+
+@pytest.fixture
+def device():
+    return NvmmDevice(Environment(), size=64 * 1024)
+
+
+def test_store_then_load_sees_data(device):
+    device.store(100, b"hello")
+    assert device.load(100, 5) == b"hello"
+
+
+def test_store_is_not_persistent_until_flushed(device):
+    device.store(0, b"volatile!")
+    assert device.persisted_view()[:9] == b"\x00" * 9
+
+
+def test_pwb_alone_is_not_persistent(device):
+    device.store(0, b"queued")
+    device.pwb(0)
+    assert device.persisted_view()[:6] == b"\x00" * 6
+
+
+def test_pwb_pfence_persists(device):
+    device.store(0, b"durable")
+    device.pwb(0)
+    device.pfence()
+    assert device.persisted_view()[:7] == b"durable"
+
+
+def test_psync_persists_and_costs_time():
+    env = Environment()
+    device = NvmmDevice(env, size=4096)
+
+    def body(env):
+        device.store(0, b"x" * 128)
+        device.pwb_range(0, 128)
+        yield from device.psync()
+        return env.now
+
+    elapsed = env.run_process(body(env))
+    assert elapsed > 0
+    assert device.persisted_view()[:128] == b"x" * 128
+
+
+def test_pfence_only_flushes_queued_lines(device):
+    device.store(0, b"aaaa")
+    device.store(CACHE_LINE_SIZE, b"bbbb")
+    device.pwb(0)  # only the first line
+    device.pfence()
+    view = device.persisted_view()
+    assert view[:4] == b"aaaa"
+    assert view[CACHE_LINE_SIZE:CACHE_LINE_SIZE + 4] == b"\x00" * 4
+
+
+def test_pwb_range_covers_straddling_lines(device):
+    start = CACHE_LINE_SIZE - 2
+    device.store(start, b"spanning")
+    device.pwb_range(start, 8)
+    device.pfence()
+    assert device.persisted_view()[start:start + 8] == b"spanning"
+
+
+def test_store_straddles_many_lines(device):
+    data = bytes(range(256)) * 2
+    device.store(10, data)
+    assert device.load(10, len(data)) == data
+
+
+def test_out_of_bounds_store_rejected(device):
+    with pytest.raises(ValueError):
+        device.store(device.size - 2, b"toolong")
+
+
+def test_out_of_bounds_load_rejected(device):
+    with pytest.raises(ValueError):
+        device.load(device.size, 1)
+
+
+def test_negative_address_rejected(device):
+    with pytest.raises(ValueError):
+        device.store(-1, b"x")
+
+
+def test_crash_image_drops_unflushed(device):
+    device.store(0, b"flushed")
+    device.pwb_range(0, 7)
+    device.pfence()
+    device.store(1024, b"lost")
+    image = device.crash_image()
+    assert image[:7] == b"flushed"
+    assert image[1024:1028] == b"\x00" * 4
+
+
+def test_crash_image_random_eviction_may_keep_dirty(device):
+    device.store(0, b"dirty")
+    rng = random.Random(1)
+    image = device.crash_image(rng=rng, eviction_probability=1.0)
+    assert image[:5] == b"dirty"
+
+
+def test_from_image_roundtrip():
+    env = Environment()
+    device = NvmmDevice(env, size=4096)
+    device.store(0, b"persisted")
+    device.pwb_range(0, 9)
+    device.pfence()
+    image = device.crash_image()
+    recovered = NvmmDevice.from_image(Environment(), image)
+    assert recovered.load(0, 9) == b"persisted"
+    assert recovered.dirty_line_count() == 0
+
+
+def test_from_image_size_mismatch_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        NvmmDevice(env, size=100, media=bytearray(50))
+
+
+def test_timed_load_returns_data_and_charges_time():
+    env = Environment()
+    device = NvmmDevice(env, size=4096)
+    device.store(8, b"timed")
+    device.pwb_range(8, 5)
+    device.pfence()
+
+    def body(env):
+        data = yield from device.timed_load(8, 5)
+        return data, env.now
+
+    data, elapsed = env.run_process(body(env))
+    assert data == b"timed"
+    assert elapsed >= device.timing.read_latency
+
+
+def test_timed_store_charges_bandwidth():
+    env = Environment()
+    timing = NvmmTiming(write_bandwidth=1024)  # 1 KiB/s: easy math
+    device = NvmmDevice(env, size=4096, timing=timing)
+
+    def body(env):
+        yield from device.timed_store(0, b"x" * 512)
+        return env.now
+
+    assert env.run_process(body(env)) == pytest.approx(0.5)
+
+
+def test_stats_counters(device):
+    device.store(0, b"abc")
+    device.load(0, 3)
+    device.pwb(0)
+    device.pfence()
+    assert device.stats.stores == 1
+    assert device.stats.loads == 1
+    assert device.stats.pwbs == 1
+    assert device.stats.pfences == 1
+    assert device.stats.lines_persisted == 1

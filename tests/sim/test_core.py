@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError, StopSimulation
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(2.5)
+        return env.now
+
+    assert env.run_process(body(env)) == pytest.approx(2.5)
+
+
+def test_zero_timeout_runs_immediately():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(0.0)
+        return "done"
+
+    assert env.run_process(body(env)) == "done"
+    assert env.now == 0.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def worker(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.spawn(worker(env, "slow", 3.0))
+    env.spawn(worker(env, "fast", 1.0))
+    env.spawn(worker(env, "mid", 2.0))
+    env.run()
+    assert order == ["fast", "mid", "slow"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def worker(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        env.spawn(worker(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_via_join():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 99
+
+    def parent(env):
+        proc = env.spawn(child(env))
+        value = yield proc.join()
+        return value
+
+    assert env.run_process(parent(env)) == 99
+
+
+def test_join_already_finished_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(0.5)
+        return "early"
+
+    def parent(env):
+        proc = env.spawn(child(env))
+        yield env.timeout(5.0)
+        value = yield proc.join()
+        return value
+
+    assert env.run_process(parent(env)) == "early"
+
+
+def test_exception_propagates_to_joiner():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(env):
+        proc = env.spawn(child(env))
+        try:
+            yield proc.join()
+        except ValueError as exc:
+            return str(exc)
+        return "no error"
+
+    assert env.run_process(parent(env)) == "boom"
+
+
+def test_unjoined_crash_raises_from_run():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.spawn(child(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_process_reraises_original_exception():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(0.0)
+        raise KeyError("missing")
+
+    with pytest.raises(KeyError):
+        env.run_process(body(env))
+
+
+def test_run_until_pauses_then_resumes():
+    env = Environment()
+    marks = []
+
+    def worker(env):
+        yield env.timeout(10.0)
+        marks.append(env.now)
+
+    env.spawn(worker(env))
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert marks == []
+    env.run()
+    assert marks == [10.0]
+
+
+def test_stop_simulation_from_process():
+    env = Environment()
+    seen = []
+
+    def stopper(env):
+        yield env.timeout(1.0)
+        raise StopSimulation()
+
+    def other(env):
+        yield env.timeout(2.0)
+        seen.append("late")
+
+    env.spawn(stopper(env))
+    env.spawn(other(env))
+    env.run()
+    assert seen == []
+    assert env.now == 1.0
+
+
+def test_yield_non_waitable_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    def parent(env):
+        proc = env.spawn(bad(env))
+        with pytest.raises(SimulationError):
+            yield proc.join()
+        return True
+
+    assert env.run_process(parent(env)) is True
+
+
+def test_yield_from_composition():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return 7
+
+    def outer(env):
+        a = yield from inner(env)
+        b = yield from inner(env)
+        return a + b
+
+    assert env.run_process(outer(env)) == 14
+    assert env.now == pytest.approx(2.0)
+
+
+def test_kill_stops_process():
+    env = Environment()
+    marks = []
+
+    def worker(env):
+        yield env.timeout(5.0)
+        marks.append("ran")
+
+    proc = env.spawn(worker(env))
+    env.run(until=1.0)
+    proc.kill()
+    env.run()
+    assert marks == []
+    assert not proc.alive
+
+
+def test_event_value_passed_to_waiter():
+    env = Environment()
+
+    def setter(env, event):
+        yield env.timeout(1.0)
+        event.set("payload")
+
+    def waiter(env, event):
+        value = yield event.wait()
+        return value
+
+    event = env.event()
+    env.spawn(setter(env, event))
+    assert env.run_process(waiter(env, event)) == "payload"
+
+
+def test_event_set_before_wait():
+    env = Environment()
+    event = env.event()
+    event.set(123)
+
+    def waiter(env):
+        value = yield event.wait()
+        return value
+
+    assert env.run_process(waiter(env)) == 123
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    event = env.event()
+
+    def waiter(env):
+        try:
+            yield event.wait()
+        except OSError as exc:
+            return exc.errno
+        return None
+
+    def failer(env):
+        yield env.timeout(1.0)
+        event.fail(OSError(5, "EIO"))
+
+    env.spawn(failer(env))
+    assert env.run_process(waiter(env)) == 5
+
+
+def test_deadlock_detected_by_run_process():
+    env = Environment()
+    event = env.event()  # never set
+
+    def stuck(env):
+        yield event.wait()
+
+    with pytest.raises(SimulationError, match="did not finish"):
+        env.run_process(stuck(env))

@@ -1,0 +1,56 @@
+"""Tests for deterministic RNG helpers (Zipfian generator, shuffles)."""
+
+import random
+
+import pytest
+
+from repro.sim import DeterministicRandom, shuffled, zipf_ranks
+
+
+def test_deterministic_random_reproducible():
+    a = DeterministicRandom(42)
+    b = DeterministicRandom(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+    assert a.seed_value == 42
+
+
+def test_zipf_ranks_in_range():
+    rng = random.Random(1)
+    ranks = zipf_ranks(rng, n=100, count=5000)
+    assert len(ranks) == 5000
+    assert all(0 <= rank < 100 + 1 for rank in ranks)
+
+
+def test_zipf_skew():
+    """Rank 0 must dominate: with theta=0.99 the head of the distribution
+    takes a large share."""
+    rng = random.Random(2)
+    ranks = zipf_ranks(rng, n=1000, count=20000)
+    rank0_share = ranks.count(0) / len(ranks)
+    uniform_share = 1 / 1000
+    assert rank0_share > 20 * uniform_share
+
+
+def test_zipf_theta_controls_skew():
+    rng1, rng2 = random.Random(3), random.Random(3)
+    heavy = zipf_ranks(rng1, 500, 10000, theta=0.99)
+    light = zipf_ranks(rng2, 500, 10000, theta=0.5)
+    assert heavy.count(0) > light.count(0)
+
+
+def test_zipf_rejects_bad_n():
+    with pytest.raises(ValueError):
+        zipf_ranks(random.Random(0), 0, 10)
+
+
+def test_shuffled_does_not_mutate():
+    rng = random.Random(7)
+    original = [1, 2, 3, 4, 5]
+    copy = shuffled(rng, original)
+    assert original == [1, 2, 3, 4, 5]
+    assert sorted(copy) == original
+
+
+def test_shuffled_deterministic():
+    assert shuffled(random.Random(9), range(20)) == \
+        shuffled(random.Random(9), range(20))

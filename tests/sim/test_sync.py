@@ -1,0 +1,230 @@
+"""Unit tests for simulation synchronization primitives."""
+
+import pytest
+
+from repro.sim import Condition, Environment, Lock, Queue, Semaphore, SimulationError
+
+
+def test_lock_mutual_exclusion():
+    env = Environment()
+    lock = Lock(env)
+    trace = []
+
+    def worker(env, name):
+        yield lock.acquire()
+        trace.append((name, "in", env.now))
+        yield env.timeout(1.0)
+        trace.append((name, "out", env.now))
+        lock.release()
+
+    env.spawn(worker(env, "a"))
+    env.spawn(worker(env, "b"))
+    env.run()
+    # b cannot enter before a leaves.
+    assert trace == [("a", "in", 0.0), ("a", "out", 1.0), ("b", "in", 1.0), ("b", "out", 2.0)]
+
+
+def test_lock_fifo_ordering():
+    env = Environment()
+    lock = Lock(env)
+    order = []
+
+    def holder(env):
+        yield lock.acquire()
+        yield env.timeout(1.0)
+        lock.release()
+
+    def waiter(env, name, arrive):
+        yield env.timeout(arrive)
+        yield lock.acquire()
+        order.append(name)
+        lock.release()
+
+    env.spawn(holder(env))
+    env.spawn(waiter(env, "first", 0.1))
+    env.spawn(waiter(env, "second", 0.2))
+    env.spawn(waiter(env, "third", 0.3))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_lock_release_unlocked_raises():
+    env = Environment()
+    lock = Lock(env)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_try_acquire():
+    env = Environment()
+    lock = Lock(env)
+    assert lock.try_acquire() is True
+    assert lock.try_acquire() is False
+    lock.release()
+    assert lock.try_acquire() is True
+
+
+def test_condition_wait_notify():
+    env = Environment()
+    lock = Lock(env)
+    cond = Condition(env, lock)
+    state = {"ready": False}
+    trace = []
+
+    def consumer(env):
+        yield lock.acquire()
+        while not state["ready"]:
+            yield cond.wait()
+        trace.append(("consumed", env.now))
+        lock.release()
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield lock.acquire()
+        state["ready"] = True
+        cond.notify()
+        lock.release()
+
+    env.spawn(consumer(env))
+    env.spawn(producer(env))
+    env.run()
+    assert trace == [("consumed", 3.0)]
+
+
+def test_condition_notify_all_wakes_everyone():
+    env = Environment()
+    lock = Lock(env)
+    cond = Condition(env, lock)
+    woken = []
+
+    def sleeper(env, name):
+        yield lock.acquire()
+        yield cond.wait()
+        woken.append(name)
+        lock.release()
+
+    def waker(env):
+        yield env.timeout(1.0)
+        yield lock.acquire()
+        cond.notify_all()
+        lock.release()
+
+    for name in ("x", "y", "z"):
+        env.spawn(sleeper(env, name))
+    env.spawn(waker(env))
+    env.run()
+    assert sorted(woken) == ["x", "y", "z"]
+
+
+def test_condition_wait_without_lock_raises():
+    env = Environment()
+    lock = Lock(env)
+    cond = Condition(env, lock)
+
+    def bad(env):
+        yield cond.wait()
+
+    with pytest.raises(SimulationError):
+        env.run_process(bad(env))
+
+
+def test_semaphore_limits_concurrency():
+    env = Environment()
+    sem = Semaphore(env, value=2)
+    active = {"count": 0, "peak": 0}
+
+    def worker(env):
+        yield sem.acquire()
+        active["count"] += 1
+        active["peak"] = max(active["peak"], active["count"])
+        yield env.timeout(1.0)
+        active["count"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        env.spawn(worker(env))
+    env.run()
+    assert active["peak"] == 2
+    assert env.now == pytest.approx(3.0)
+
+
+def test_semaphore_negative_value_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Semaphore(env, value=-1)
+
+
+def test_queue_fifo_transfer():
+    env = Environment()
+    queue = Queue(env)
+    received = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1.0)
+            yield queue.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield queue.get()
+            received.append((item, env.now))
+
+    env.spawn(producer(env))
+    env.spawn(consumer(env))
+    env.run()
+    assert received == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_queue_get_before_put():
+    env = Environment()
+    queue = Queue(env)
+
+    def consumer(env):
+        item = yield queue.get()
+        return item
+
+    def producer(env):
+        yield env.timeout(2.0)
+        yield queue.put("late")
+
+    env.spawn(producer(env))
+    assert env.run_process(consumer(env)) == "late"
+
+
+def test_bounded_queue_blocks_putter():
+    env = Environment()
+    queue = Queue(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield queue.put("a")
+        times.append(("put-a", env.now))
+        yield queue.put("b")  # blocks until consumer takes "a"
+        times.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        item = yield queue.get()
+        times.append((f"got-{item}", env.now))
+
+    env.spawn(producer(env))
+    env.spawn(consumer(env))
+    env.run()
+    assert ("put-a", 0.0) in times
+    put_b = [t for name, t in times if name == "put-b"][0]
+    assert put_b == pytest.approx(5.0)
+
+
+def test_queue_len():
+    env = Environment()
+    queue = Queue(env)
+
+    def body(env):
+        yield queue.put(1)
+        yield queue.put(2)
+        assert len(queue) == 2
+        yield queue.get()
+        assert len(queue) == 1
+        return True
+
+    assert env.run_process(body(env)) is True

@@ -1,0 +1,104 @@
+"""Tests for the tracing subsystem and its instrumentation hooks."""
+
+import json
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.core import Nvcache, NvcacheConfig, NvmmLog
+from repro.fs import Ext4
+from repro.kernel import Kernel, O_CREAT, O_WRONLY
+from repro.nvmm import NvmmDevice
+from repro.sim import Environment, Tracer
+from repro.units import MIB
+
+
+def test_tracer_records_events():
+    tracer = Tracer()
+    tracer.add(1.0, 0.5, "ssd", "write", "ssd0", offset=4096)
+    tracer.add(2.0, 0.1, "ssd", "flush", "ssd0")
+    assert len(tracer.events) == 2
+    assert tracer.by_category("ssd")[0].name == "write"
+    assert tracer.total_time("ssd") == pytest.approx(0.6)
+    assert tracer.total_time("ssd", "flush") == pytest.approx(0.1)
+
+
+def test_tracer_capacity_bounded():
+    tracer = Tracer(capacity=3)
+    for i in range(10):
+        tracer.add(i, 0.0, "c", "n", "t")
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 7
+
+
+def test_chrome_export_roundtrips(tmp_path):
+    tracer = Tracer()
+    tracer.add(0.001, 0.0005, "nvcache", "pwrite", "app", nbytes=4096)
+    path = tmp_path / "trace.json"
+    tracer.to_chrome_json(str(path))
+    loaded = json.loads(path.read_text())
+    (event,) = loaded["traceEvents"]
+    assert event["name"] == "pwrite"
+    assert event["ph"] == "X"
+    assert event["ts"] == pytest.approx(1000.0)  # 1 ms in us
+    assert event["args"]["nbytes"] == 4096
+
+
+def test_block_device_emits_events():
+    env = Environment()
+    env.tracer = Tracer()
+    ssd = SsdDevice(env, size=64 * MIB)
+
+    def body():
+        yield from ssd.write(0, b"x" * 4096)
+        yield from ssd.read(0, 4096)
+        yield from ssd.flush()
+
+    env.run_process(body())
+    names = [event.name for event in env.tracer.by_category("ssd0")]
+    assert names == ["write", "read", "flush"]
+
+
+def test_nvcache_emits_write_and_cleanup_events():
+    env = Environment()
+    env.tracer = Tracer()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=64 * MIB)))
+    config = NvcacheConfig(log_entries=64, read_cache_pages=16,
+                           batch_min=2, batch_max=16)
+    nv = Nvcache(env, kernel, NvmmDevice(env, size=NvmmLog.required_size(config)),
+                 config)
+
+    def body():
+        fd = yield from nv.open("/f", O_CREAT | O_WRONLY)
+        for i in range(5):
+            yield from nv.pwrite(fd, b"t" * 1024, i * 1024)
+        yield nv.cleanup.request_drain()
+
+    env.run_process(body())
+    writes = [e for e in env.tracer.by_category("nvcache") if e.name == "pwrite"]
+    batches = [e for e in env.tracer.by_category("nvcache") if e.name == "batch"]
+    assert len(writes) == 5
+    assert len(batches) >= 1
+    assert sum(b.args["entries"] for b in batches) == 5
+
+
+def test_summary_is_readable():
+    tracer = Tracer()
+    tracer.add(0, 1e-6, "ssd", "write", "ssd0")
+    tracer.add(0, 3e-6, "ssd", "write", "ssd0")
+    text = tracer.summary()
+    assert "2 events" in text
+    assert "ssd/write" in text
+    assert "n=2" in text
+
+
+def test_tracing_off_by_default_costs_nothing():
+    env = Environment()
+    assert env.tracer is None
+    ssd = SsdDevice(env, size=64 * MIB)
+
+    def body():
+        yield from ssd.write(0, b"y" * 4096)
+
+    env.run_process(body())  # must not raise

@@ -1,0 +1,31 @@
+"""Tests for the shared unit helpers."""
+
+from repro.units import GIB, KIB, MIB, MS, NS, US, fmt_bytes, fmt_time
+
+
+def test_size_constants():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+
+
+def test_time_constants():
+    import pytest
+
+    assert US == pytest.approx(1000 * NS)
+    assert MS == pytest.approx(1000 * US)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KIB) == "2.0 KiB"
+    assert fmt_bytes(int(1.5 * MIB)) == "1.5 MiB"
+    assert fmt_bytes(3 * GIB) == "3.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(42.0) == "42.0 s"
+    assert fmt_time(149.0) == "2 min 29 s"
+    assert fmt_time(0.0021) == "2.1 ms"
+    assert fmt_time(7.6e-6) == "7.6 us"
+    assert fmt_time(300e-9) == "300 ns"

@@ -1,0 +1,116 @@
+"""Tests for the FIO-style workload driver."""
+
+import pytest
+
+from repro.block import SsdDevice
+from repro.fs import Ext4
+from repro.kernel import Kernel
+from repro.libc import Libc
+from repro.sim import Environment
+from repro.units import KIB, MIB
+from repro.workloads import FioJob, run_fio
+
+
+def make_stack(ssd_size=256 * MIB):
+    env = Environment()
+    kernel = Kernel(env)
+    ssd = SsdDevice(env, size=ssd_size)
+    kernel.mount("/", Ext4(env, ssd))
+    return env, kernel, ssd, Libc(kernel)
+
+
+def test_randwrite_moves_expected_bytes():
+    env, _kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="randwrite", block_size=4 * KIB, size=1 * MIB)
+    result = run_fio(env, libc, job)
+    assert result.bytes_written == 1 * MIB
+    assert result.bytes_read == 0
+    assert result.write_count == 256
+    assert result.elapsed > 0
+
+
+def test_sequential_write_faster_than_random():
+    def bw(rw):
+        env, _kernel, _ssd, libc = make_stack()
+        job = FioJob(rw=rw, block_size=4 * KIB, size=2 * MIB,
+                     file_size=64 * MIB, fsync=0, direct=True)
+        return run_fio(env, libc, job).write_bandwidth
+
+    assert bw("write") > 1.5 * bw("randwrite")
+
+
+def test_fsync_every_write_slower():
+    def bw(fsync):
+        env, _kernel, _ssd, libc = make_stack()
+        job = FioJob(rw="randwrite", block_size=4 * KIB, size=512 * KIB,
+                     fsync=fsync, direct=True)
+        return run_fio(env, libc, job).write_bandwidth
+
+    assert bw(0) > 3 * bw(1)
+
+
+def test_read_job_after_layout():
+    env, _kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="randread", block_size=4 * KIB, size=1 * MIB,
+                 file_size=2 * MIB)
+    result = run_fio(env, libc, job)
+    assert result.bytes_read == 1 * MIB
+    assert result.bytes_written == 0
+    assert result.read_count == 256
+
+
+def test_randrw_mix_respected():
+    env, _kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="randrw", block_size=4 * KIB, size=2 * MIB,
+                 rwmixread=70, seed=3)
+    result = run_fio(env, libc, job)
+    total = result.read_count + result.write_count
+    assert total == 512
+    assert 0.6 < result.read_count / total < 0.8
+
+
+def test_numjobs_use_separate_files():
+    env, kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="write", block_size=4 * KIB, size=256 * KIB, numjobs=3)
+    result = run_fio(env, libc, job, "/multi.dat")
+    assert result.bytes_written == 3 * 256 * KIB
+
+    def check():
+        names = yield from kernel.listdir("/")
+        return names
+
+    names = env.run_process(check())
+    assert {"multi.dat.0", "multi.dat.1", "multi.dat.2"} <= set(names)
+
+
+def test_unknown_rw_mode_rejected():
+    env, _kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="sideways", size=64 * KIB)
+    with pytest.raises(ValueError):
+        run_fio(env, libc, job)
+
+
+def test_series_buckets_are_consistent():
+    env, _kernel, _ssd, libc = make_stack()
+    job = FioJob(rw="randwrite", block_size=4 * KIB, size=1 * MIB,
+                 fsync=1, direct=True)
+    result = run_fio(env, libc, job)
+    series = result.series(interval=result.elapsed / 10)
+    assert len(series.time) >= 10
+    # Cumulative written is monotone and ends at the total.
+    assert series.cumulative_written == sorted(series.cumulative_written)
+    assert series.cumulative_written[-1] == result.bytes_written
+    # Average throughput from the series matches the aggregate.
+    mean_tp = sum(series.write_throughput) / len(series.write_throughput)
+    assert mean_tp == pytest.approx(result.write_bandwidth, rel=0.35)
+
+
+def test_layout_not_counted_in_measurement():
+    env, _kernel, ssd, libc = make_stack()
+    job = FioJob(rw="randwrite", block_size=4 * KIB, size=256 * KIB,
+                 file_size=4 * MIB, fsync=0)
+    result = run_fio(env, libc, job)
+    # Only the measured 64 writes appear in the result, not the 1024
+    # layout writes.
+    assert result.write_count == 64
+    assert result.completions[0][0] >= 0

@@ -1,0 +1,161 @@
+"""Tests for the YCSB workload driver."""
+
+import pytest
+
+from repro.apps import KVOptions, MiniRocks, MiniSqlite
+from repro.block import SsdDevice
+from repro.fs import Ext4
+from repro.kernel import Kernel
+from repro.libc import Libc
+from repro.sim import Environment
+from repro.units import KIB, MIB
+from repro.workloads import WORKLOAD_MIXES, YcsbWorkload
+
+
+def make_env():
+    env = Environment()
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, SsdDevice(env, size=256 * MIB)))
+    return env, Libc(kernel)
+
+
+def test_mixes_sum_to_one():
+    for name, mix in WORKLOAD_MIXES.items():
+        assert sum(mix.values()) == pytest.approx(1.0), name
+
+
+def test_load_phase_inserts_all_records():
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db", KVOptions(sync=False))
+        ycsb = YcsbWorkload(env, db, records=50, operations=10)
+        yield from ycsb.load()
+        found = 0
+        for i in range(50):
+            value = yield from db.get(b"%016d" % i)
+            if value is not None:
+                found += 1
+        yield from db.close()
+        return found
+
+    assert env.run_process(body()) == 50
+
+
+@pytest.mark.parametrize("workload", ["A", "B", "C", "D", "E", "F"])
+def test_each_workload_runs(workload):
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db", KVOptions(
+            sync=True, memtable_bytes=8 * KIB))
+        ycsb = YcsbWorkload(env, db, records=80, operations=120)
+        yield from ycsb.load()
+        result = yield from ycsb.run(workload)
+        yield from db.close()
+        return result
+
+    result = env.run_process(body())
+    assert result.workload == workload
+    assert result.operations == 120
+    assert result.ops_per_second > 0
+    assert sum(result.counts.values()) == 120
+
+
+def test_mix_ratios_roughly_respected():
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db", KVOptions(sync=False))
+        ycsb = YcsbWorkload(env, db, records=100, operations=1000)
+        yield from ycsb.load()
+        result = yield from ycsb.run("B")
+        yield from db.close()
+        return result
+
+    result = env.run_process(body())
+    read_fraction = result.counts.get("read", 0) / 1000
+    assert 0.9 < read_fraction < 0.99
+
+
+def test_workload_d_inserts_grow_keyspace():
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db", KVOptions(sync=False))
+        ycsb = YcsbWorkload(env, db, records=50, operations=400)
+        yield from ycsb.load()
+        yield from ycsb.run("D")
+        yield from db.close()
+        return ycsb._inserted
+
+    assert env.run_process(body()) > 50
+
+
+def test_unknown_workload_rejected():
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db")
+        ycsb = YcsbWorkload(env, db, records=10, operations=10)
+        yield from ycsb.run("Z")
+
+    with pytest.raises(ValueError):
+        env.run_process(body())
+
+
+def test_workload_e_requires_scan_support():
+    env, libc = make_env()
+
+    class NoScan:
+        def __init__(self, inner):
+            self.put = inner.put
+            self.get = inner.get
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db")
+        ycsb = YcsbWorkload(env, NoScan(db), records=10, operations=10)
+        yield from ycsb.run("E")
+
+    with pytest.raises(ValueError, match="scan"):
+        env.run_process(body())
+
+
+def test_ycsb_on_sqldb():
+    env, libc = make_env()
+
+    def body():
+        db = yield from MiniSqlite.open(libc, "/y.db")
+        ycsb = YcsbWorkload(env, db, records=40, operations=60)
+        yield from ycsb.load()
+        result = yield from ycsb.run("A")
+        yield from db.close()
+        return result
+
+    result = env.run_process(body())
+    assert result.operations == 60
+
+
+def test_zipf_skew_concentrates_popularity():
+    """The hottest key should receive far more than its uniform share."""
+    env, libc = make_env()
+    reads = {}
+
+    def body():
+        db = yield from MiniRocks.open(libc, "/db", KVOptions(sync=False))
+        original_get = db.get
+
+        def counting_get(key):
+            reads[key] = reads.get(key, 0) + 1
+            result = yield from original_get(key)
+            return result
+
+        db.get = counting_get
+        ycsb = YcsbWorkload(env, db, records=200, operations=2000)
+        yield from ycsb.load()
+        yield from ycsb.run("C")
+        yield from db.close()
+
+    env.run_process(body())
+    hottest = max(reads.values())
+    assert hottest > 3 * (2000 / 200)  # way above the uniform share
