@@ -1,0 +1,62 @@
+"""Wall-clock speed of the simulation engine (pytest front-end).
+
+Runs the same fio-like and db_bench-like drivers as
+``tools/bench_engine.py`` and checks, against the committed
+``BENCH_engine.json``:
+
+- *semantics*: simulated clock, event count, op count, and NVCache entry
+  count are bit-identical to the committed snapshot — engine speedups
+  must not change what is simulated;
+- *speed*: events/sec has not regressed more than the shared tolerance.
+
+Wall-clock assertions are inherently host-dependent, so these tests are
+marked ``engine_bench`` and excluded from tier-1 (``testpaths`` only
+covers ``tests/``). Run them explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_speed.py -m engine_bench -s
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import bench_engine  # noqa: E402
+
+pytestmark = pytest.mark.engine_bench
+
+
+@pytest.fixture(scope="module")
+def committed():
+    if not os.path.exists(bench_engine.RESULTS_PATH):
+        pytest.skip("no committed BENCH_engine.json to compare against")
+    with open(bench_engine.RESULTS_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("workload", sorted(bench_engine.WORKLOADS))
+def test_engine_speed_and_semantics(workload, committed):
+    snapshot = committed["workloads"].get(workload, {}).get("after")
+    if snapshot is None:
+        pytest.skip(f"no committed 'after' snapshot for {workload}")
+
+    record = bench_engine.WORKLOADS[workload]()
+
+    # Bit-identical simulation: the engine may only get faster, never
+    # simulate something different.
+    assert record["sim_seconds"] == snapshot["sim_seconds"]
+    assert record["events"] == snapshot["events"]
+    assert record["ops"] == snapshot["ops"]
+    assert record["nvcache_entries_created"] == \
+        snapshot["nvcache_entries_created"]
+
+    floor = snapshot["events_per_sec"] * (1.0 - bench_engine.CHECK_TOLERANCE)
+    print(f"\n{workload}: {record['events_per_sec']:,.0f} ev/s "
+          f"(committed {snapshot['events_per_sec']:,.0f}, floor {floor:,.0f})")
+    assert record["events_per_sec"] >= floor, (
+        f"{workload} regressed: {record['events_per_sec']:,.0f} ev/s < "
+        f"floor {floor:,.0f} (committed {snapshot['events_per_sec']:,.0f})")

@@ -22,7 +22,7 @@ from typing import Dict, Generator, Optional
 from ..sim import Environment, Lock
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockStats:
     """Cumulative counters for one device."""
 

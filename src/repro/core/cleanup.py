@@ -44,6 +44,7 @@ class CleanupThread:
         # a deferred fd (close + path-slot clear + cache release).
         self.finalize_fd = None
         self._drain_waiters: List[Tuple[int, Waitable]] = []
+        self._close_waiters: List[Tuple[int, Waitable]] = []
         self._last_progress = 0.0
 
     # -- lifecycle -----------------------------------------------------------
@@ -77,6 +78,29 @@ class CleanupThread:
             else:
                 still_waiting.append((target, waiter))
         self._drain_waiters = still_waiting
+
+    def request_close_headroom(self, threshold: int) -> Waitable:
+        """A waitable that fires once the deferred-close backlog is at or
+        below ``threshold``. Used by ``Nvcache.close`` as its backpressure
+        valve instead of polling the backlog on a timer."""
+        waiter = Waitable(self.env)
+        if len(self.tables.deferred_close) <= threshold:
+            waiter._fire(None)
+        else:
+            self._close_waiters.append((threshold, waiter))
+        return waiter
+
+    def _fire_close_waiters(self) -> None:
+        if not self._close_waiters:
+            return
+        backlog = len(self.tables.deferred_close)
+        still_waiting = []
+        for threshold, waiter in self._close_waiters:
+            if backlog <= threshold:
+                waiter._fire(None)
+            else:
+                still_waiting.append((threshold, waiter))
+        self._close_waiters = still_waiting
 
     # -- the thread body ---------------------------------------------------------
 
@@ -191,4 +215,5 @@ class CleanupThread:
             for fd in sorted(self.tables.deferred_close):
                 if self.tables.pending_by_fd.get(fd, 0) == 0:
                     yield from self.finalize_fd(fd)
+        self._fire_close_waiters()
         return len(batch)

@@ -69,6 +69,11 @@ class LogFullError(Exception):
 class NvmmLog:
     """The persistent circular log plus its volatile indices."""
 
+    __slots__ = ("env", "nvmm", "config", "stats", "entries", "stride",
+                 "fd_table_base", "tail_base", "entries_base", "head",
+                 "volatile_tail", "_space_waiters", "_registered_fds",
+                 "_fd_set_authoritative")
+
     def __init__(self, env: Environment, nvmm: NvmmDevice, config: NvcacheConfig,
                  stats: Optional[NvcacheStats] = None, base: int = 0):
         self.env = env
@@ -89,6 +94,13 @@ class NvmmLog:
         self.head = 0
         self.volatile_tail = 0
         self._space_waiters: List[Waitable] = []
+        # Volatile mirror of the occupied fd-table slots, so all_paths()
+        # does not scan fd_max * path_max bytes of NVMM on every call.
+        # Not authoritative until seeded: a log constructed over a
+        # recovered image has registrations this process never saw, so
+        # the first all_paths() performs the full scan once.
+        self._registered_fds: set = set()
+        self._fd_set_authoritative = False
 
     # -- geometry ----------------------------------------------------------
 
@@ -253,21 +265,34 @@ class NvmmLog:
         addr = self._fd_addr(fd)
         write_cstring(self.nvmm, addr, path, self.config.path_max)
         self.nvmm.pwb_range(addr, self.config.path_max)
+        self._registered_fds.add(fd)
         yield from self.nvmm.psync()
 
     def clear_path(self, fd: int) -> Generator:
         addr = self._fd_addr(fd)
         self.nvmm.store(addr, b"\x00")
         self.nvmm.pwb(addr)
+        self._registered_fds.discard(fd)
         yield from self.nvmm.psync()
 
     def get_path(self, fd: int) -> str:
         return read_cstring(self.nvmm, self._fd_addr(fd), self.config.path_max)
 
     def all_paths(self) -> dict:
-        """fd -> path for every registered descriptor."""
+        """fd -> path for every registered descriptor.
+
+        Served from the volatile registered-fd set once it is known to
+        cover the media. Until then — i.e. the first call on a log built
+        over a pre-existing image, as recovery does — the fd table is
+        scanned in full and the set seeded from it.
+        """
+        if not self._fd_set_authoritative:
+            for fd in range(self.config.fd_max):
+                if self.get_path(fd):
+                    self._registered_fds.add(fd)
+            self._fd_set_authoritative = True
         result = {}
-        for fd in range(self.config.fd_max):
+        for fd in sorted(self._registered_fds):
             path = self.get_path(fd)
             if path:
                 result[fd] = path

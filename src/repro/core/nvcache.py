@@ -128,12 +128,14 @@ class Nvcache:
             self.tables.deferred_close.add(fd)
             # Backpressure safety valve: an application that churns
             # through descriptors faster than the disk drains would
-            # exhaust the NVMM path table; slow this close down until the
+            # exhaust the NVMM path table; block this close until the
             # cleanup thread reduces the backlog (sustained saturation
-            # only — the table holds fd_max bindings).
+            # only — the table holds fd_max bindings). The cleanup
+            # thread fires the waiter the moment a batch shrinks the
+            # backlog, so no wakeups are burnt on polling it.
             threshold = self.config.fd_max * 3 // 4
-            while len(self.tables.deferred_close) > threshold:
-                yield self.env.timeout(5e-4)
+            if len(self.tables.deferred_close) > threshold:
+                yield self.cleanup.request_close_headroom(threshold)
             yield self.env.timeout(0.0)
         return 0
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class NvcacheStats:
     """Counters the evaluation section reads off (hit rates, dirty misses,
     batches, log-full stalls)."""

@@ -40,7 +40,7 @@ class CachedPage:
     dirtied_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class PageCacheStats:
     hits: int = 0
     misses: int = 0

@@ -19,16 +19,24 @@ evict dirty lines at any moment, :meth:`NvmmDevice.crash_image` can
 optionally persist a random subset of the unflushed dirty lines — recovery
 code must be correct for every such subset, and the property tests exercise
 exactly that.
+
+Representation: both the media and the volatile CPU-cache overlay are
+sparse chunked buffers (:class:`~repro.nvmm.sparse.SparseBytes`). The
+overlay flatly shadows the media, with a set of dirty line indices
+recording where it is authoritative: ``store``/``load`` become one or two
+slice operations instead of a per-cache-line dict walk, and only the
+partially-written edge lines of a store need seeding from media.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Set
+from typing import Generator, Optional, Set
 
 from ..sim import Environment
 from ..units import CACHE_LINE_SIZE, GIB, NS
+from .sparse import SparseBytes
 
 
 @dataclass(frozen=True)
@@ -54,7 +62,7 @@ class NvmmTiming:
         return self.read_latency + nbytes / self.read_bandwidth
 
 
-@dataclass
+@dataclass(slots=True)
 class NvmmStats:
     """Operation counters, reset with the device."""
 
@@ -71,6 +79,9 @@ class NvmmStats:
 class NvmmDevice:
     """A single NVMM module (or DAX file): media + volatile cache overlay."""
 
+    __slots__ = ("env", "size", "timing", "name", "_media", "_overlay",
+                 "_dirty", "_flush_queue", "_undrained_lines", "stats")
+
     def __init__(self, env: Environment, size: int, timing: Optional[NvmmTiming] = None,
                  media: Optional[bytearray] = None, name: str = "nvmm0"):
         if size <= 0:
@@ -81,24 +92,20 @@ class NvmmDevice:
         self.size = size
         self.timing = timing or NvmmTiming()
         self.name = name
-        # The persistent media. Survives crashes.
-        # Lazily allocated: filesystems that only use the device for its
-        # timing/capacity model (NOVA, Ext4-DAX) never pay for the buffer.
-        self._media = media
-        # Volatile overlay: cache-line index -> current (unpersisted) bytes.
-        self._dirty_lines: Dict[int, bytearray] = {}
+        # The persistent media. Survives crashes. Sparse: untouched
+        # regions cost nothing, so filesystems that only use the device
+        # for its timing/capacity model (NOVA, Ext4-DAX) stay free.
+        self._media = SparseBytes(size, initial=media)
+        # Flat volatile overlay shadowing the media; authoritative only
+        # for the lines in ``_dirty``.
+        self._overlay = SparseBytes(size)
+        self._dirty: Set[int] = set()
         # Lines enqueued by pwb but not yet fenced.
         self._flush_queue: Set[int] = set()
         # Lines persisted by pfences whose drain latency has not been
         # charged yet — the next psync pays for them.
         self._undrained_lines = 0
         self.stats = NvmmStats()
-
-    @property
-    def media(self) -> bytearray:
-        if self._media is None:
-            self._media = bytearray(self.size)
-        return self._media
 
     # -- address helpers ---------------------------------------------------
 
@@ -113,71 +120,98 @@ class NvmmDevice:
     def _line_of(addr: int) -> int:
         return addr // CACHE_LINE_SIZE
 
-    def _line_view(self, line: int) -> bytearray:
-        """Current contents of a cache line (media + any volatile update)."""
-        cached = self._dirty_lines.get(line)
-        if cached is not None:
-            return cached
-        start = line * CACHE_LINE_SIZE
-        return bytearray(self.media[start:start + CACHE_LINE_SIZE])
-
     # -- untimed state transitions (the instruction model) ------------------
 
     def store(self, addr: int, data: bytes) -> None:
         """CPU store: visible to loads immediately, persistent only after
         pwb+pfence/psync (or a lucky cache eviction)."""
-        self._check_range(addr, len(data))
-        self.stats.stores += 1
-        self.stats.bytes_stored += len(data)
-        offset = 0
-        while offset < len(data):
-            line = self._line_of(addr + offset)
-            line_start = line * CACHE_LINE_SIZE
-            in_line = (addr + offset) - line_start
-            chunk = min(len(data) - offset, CACHE_LINE_SIZE - in_line)
-            view = self._line_view(line)
-            view[in_line:in_line + chunk] = data[offset:offset + chunk]
-            self._dirty_lines[line] = view
-            offset += chunk
+        nbytes = len(data)
+        self._check_range(addr, nbytes)
+        stats = self.stats
+        stats.stores += 1
+        stats.bytes_stored += nbytes
+        if nbytes == 0:
+            return
+        overlay = self._overlay
+        end = addr + nbytes
+        first = addr // CACHE_LINE_SIZE
+        last = (end - 1) // CACHE_LINE_SIZE
+        dirty = self._dirty
+        # Only the partially-covered edge lines need their untouched bytes
+        # seeded from media; fully-covered interior lines are overwritten.
+        if addr % CACHE_LINE_SIZE and first not in dirty:
+            overlay.copy_from(self._media, first * CACHE_LINE_SIZE,
+                              CACHE_LINE_SIZE)
+        if end % CACHE_LINE_SIZE and last not in dirty:
+            overlay.copy_from(self._media, last * CACHE_LINE_SIZE,
+                              CACHE_LINE_SIZE)
+        overlay.write(addr, data)
+        if first == last:
+            dirty.add(first)
+        else:
+            dirty.update(range(first, last + 1))
 
     def load(self, addr: int, nbytes: int) -> bytes:
         """CPU load: sees the newest (possibly unpersisted) data."""
         self._check_range(addr, nbytes)
-        self.stats.loads += 1
-        self.stats.bytes_loaded += nbytes
-        out = bytearray(nbytes)
-        offset = 0
-        while offset < nbytes:
-            line = self._line_of(addr + offset)
-            line_start = line * CACHE_LINE_SIZE
-            in_line = (addr + offset) - line_start
-            chunk = min(nbytes - offset, CACHE_LINE_SIZE - in_line)
-            view = self._line_view(line)
-            out[offset:offset + chunk] = view[in_line:in_line + chunk]
-            offset += chunk
+        stats = self.stats
+        stats.loads += 1
+        stats.bytes_loaded += nbytes
+        if nbytes == 0:
+            return b""
+        dirty = self._dirty
+        if not dirty:
+            return self._media.read(addr, nbytes)
+        end = addr + nbytes
+        lines = range(addr // CACHE_LINE_SIZE, (end - 1) // CACHE_LINE_SIZE + 1)
+        dirty_in_range = dirty.intersection(lines)
+        if not dirty_in_range:
+            return self._media.read(addr, nbytes)
+        if len(dirty_in_range) == len(lines):
+            return self._overlay.read(addr, nbytes)
+        # Mixed clean/dirty lines: start from media, patch dirty lines in.
+        out = bytearray(self._media.read(addr, nbytes))
+        overlay = self._overlay
+        for line in dirty_in_range:
+            start = max(line * CACHE_LINE_SIZE, addr)
+            stop = min((line + 1) * CACHE_LINE_SIZE, end)
+            out[start - addr:stop - addr] = overlay.read(start, stop - start)
         return bytes(out)
 
     def pwb(self, addr: int) -> None:
         """Enqueue the cache line containing ``addr`` for write-back."""
         self._check_range(addr, 1)
         self.stats.pwbs += 1
-        self._flush_queue.add(self._line_of(addr))
+        self._flush_queue.add(addr // CACHE_LINE_SIZE)
 
     def pwb_range(self, addr: int, nbytes: int) -> None:
         """``pwb`` every cache line overlapping ``[addr, addr+nbytes)``."""
         self._check_range(addr, nbytes)
-        first = self._line_of(addr)
-        last = self._line_of(addr + max(nbytes, 1) - 1)
-        for line in range(first, last + 1):
-            self.stats.pwbs += 1
-            self._flush_queue.add(line)
+        first = addr // CACHE_LINE_SIZE
+        last = (addr + max(nbytes, 1) - 1) // CACHE_LINE_SIZE
+        self.stats.pwbs += last - first + 1
+        self._flush_queue.update(range(first, last + 1))
 
-    def _persist_line(self, line: int) -> None:
-        cached = self._dirty_lines.pop(line, None)
-        if cached is not None:
-            start = line * CACHE_LINE_SIZE
-            self.media[start:start + CACHE_LINE_SIZE] = cached
-            self.stats.lines_persisted += 1
+    def _persist_lines(self, lines: Set[int]) -> None:
+        """Copy dirty ``lines`` from the overlay into the media, coalescing
+        consecutive lines into single range copies."""
+        to_persist = sorted(lines)
+        media = self._media
+        overlay = self._overlay
+        run_start = to_persist[0]
+        previous = run_start
+        for line in to_persist[1:]:
+            if line != previous + 1:
+                start = run_start * CACHE_LINE_SIZE
+                media.copy_from(overlay, start,
+                                (previous + 1) * CACHE_LINE_SIZE - start)
+                run_start = line
+            previous = line
+        start = run_start * CACHE_LINE_SIZE
+        media.copy_from(overlay, start,
+                        (previous + 1) * CACHE_LINE_SIZE - start)
+        self._dirty.difference_update(lines)
+        self.stats.lines_persisted += len(to_persist)
 
     def pfence(self) -> int:
         """Ordering fence: persist every queued line. Returns lines drained.
@@ -186,12 +220,14 @@ class NvmmDevice:
         actual drain is accounted when a ``psync`` waits for it.
         """
         self.stats.pfences += 1
-        drained = 0
-        for line in sorted(self._flush_queue):
-            self._persist_line(line)
-            drained += 1
-        self._flush_queue.clear()
-        self._undrained_lines += drained
+        queue = self._flush_queue
+        drained = len(queue)
+        if drained:
+            persistable = queue & self._dirty
+            if persistable:
+                self._persist_lines(persistable)
+            queue.clear()
+            self._undrained_lines += drained
         return drained
 
     # -- timed operations (generators that charge simulated time) ----------
@@ -220,7 +256,7 @@ class NvmmDevice:
     # -- crash simulation ----------------------------------------------------
 
     def dirty_line_count(self) -> int:
-        return len(self._dirty_lines)
+        return len(self._dirty)
 
     def crash_image(self, rng: Optional[random.Random] = None,
                     eviction_probability: float = 0.0) -> bytearray:
@@ -230,14 +266,17 @@ class NvmmDevice:
         ``eviction_probability`` per line, the cache is assumed to have
         spontaneously evicted the line before the crash (so it survives).
         Passing ``rng`` with a non-zero probability produces adversarial
-        images for recovery testing.
+        images for recovery testing. Lines are considered in ascending
+        address order, so a seeded ``rng`` reproduces the same image.
         """
-        image = bytearray(self.media)
-        if rng is not None and eviction_probability > 0.0:
-            for line, cached in self._dirty_lines.items():
+        image = self._media.to_bytearray()
+        if rng is not None and eviction_probability > 0.0 and self._dirty:
+            overlay = self._overlay
+            for line in sorted(self._dirty):
                 if rng.random() < eviction_probability:
                     start = line * CACHE_LINE_SIZE
-                    image[start:start + CACHE_LINE_SIZE] = cached
+                    image[start:start + CACHE_LINE_SIZE] = \
+                        overlay.read(start, CACHE_LINE_SIZE)
         return image
 
     @classmethod
@@ -248,4 +287,4 @@ class NvmmDevice:
 
     def persisted_view(self) -> bytes:
         """What the media holds right now if the machine lost power."""
-        return bytes(self.media)
+        return bytes(self._media.to_bytearray())

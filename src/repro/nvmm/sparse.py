@@ -1,0 +1,103 @@
+"""Sparse byte buffer backed by fixed-size chunks.
+
+Simulated NVMM modules are hundreds of MiB even at scaled-down
+geometry, but most workloads touch only a small, localized fraction
+(the head of the circular log, the fd table). A single flat
+``bytearray`` of the device size makes every first-touch run pay an
+enormous zero-fill, so both the media and the volatile cache overlay
+use this sparse representation instead: a dict of 1 MiB chunks,
+allocated on first write. Absent chunks read as zeros, exactly like
+fresh NVMM in the model.
+
+The accessors are written so the overwhelmingly common case — an access
+that falls inside one chunk — is a single dict lookup plus one slice
+operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+CHUNK_SHIFT = 20  # 1 MiB chunks
+CHUNK_SIZE = 1 << CHUNK_SHIFT
+_CHUNK_MASK = CHUNK_SIZE - 1
+
+
+class SparseBytes:
+    """Zero-initialized, sparsely materialized byte buffer."""
+
+    __slots__ = ("size", "_chunks")
+
+    def __init__(self, size: int, initial: Optional[bytes] = None):
+        self.size = size
+        self._chunks: Dict[int, bytearray] = {}
+        if initial is not None:
+            if len(initial) != size:
+                raise ValueError(
+                    f"initial image of {len(initial)} bytes != size {size}")
+            view = memoryview(initial)
+            for base in range(0, size, CHUNK_SIZE):
+                piece = view[base:base + CHUNK_SIZE]
+                # Keep the buffer sparse: all-zero regions of the image
+                # stay unmaterialized.
+                if piece.nbytes and any(piece):
+                    chunk = bytearray(CHUNK_SIZE)
+                    chunk[:piece.nbytes] = piece
+                    self._chunks[base >> CHUNK_SHIFT] = chunk
+
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Bytes at ``[addr, addr+nbytes)``; absent chunks read as zeros."""
+        offset = addr & _CHUNK_MASK
+        if offset + nbytes <= CHUNK_SIZE:
+            chunk = self._chunks.get(addr >> CHUNK_SHIFT)
+            if chunk is None:
+                return bytes(nbytes)
+            return bytes(chunk[offset:offset + nbytes])
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            offset = (addr + pos) & _CHUNK_MASK
+            piece = min(nbytes - pos, CHUNK_SIZE - offset)
+            chunk = self._chunks.get((addr + pos) >> CHUNK_SHIFT)
+            if chunk is not None:
+                out[pos:pos + piece] = chunk[offset:offset + piece]
+            pos += piece
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr``, materializing chunks as needed."""
+        nbytes = len(data)
+        offset = addr & _CHUNK_MASK
+        if offset + nbytes <= CHUNK_SIZE:
+            index = addr >> CHUNK_SHIFT
+            chunk = self._chunks.get(index)
+            if chunk is None:
+                chunk = self._chunks[index] = bytearray(CHUNK_SIZE)
+            chunk[offset:offset + nbytes] = data
+            return
+        pos = 0
+        while pos < nbytes:
+            offset = (addr + pos) & _CHUNK_MASK
+            piece = min(nbytes - pos, CHUNK_SIZE - offset)
+            index = (addr + pos) >> CHUNK_SHIFT
+            chunk = self._chunks.get(index)
+            if chunk is None:
+                chunk = self._chunks[index] = bytearray(CHUNK_SIZE)
+            chunk[offset:offset + piece] = data[pos:pos + piece]
+            pos += piece
+
+    def copy_from(self, other: "SparseBytes", addr: int, nbytes: int) -> None:
+        """Copy ``[addr, addr+nbytes)`` from ``other`` into this buffer."""
+        self.write(addr, other.read(addr, nbytes))
+
+    def to_bytearray(self) -> bytearray:
+        """Materialize the whole buffer (crash images, persisted views)."""
+        out = bytearray(self.size)
+        for index, chunk in self._chunks.items():
+            base = index << CHUNK_SHIFT
+            out[base:base + min(CHUNK_SIZE, self.size - base)] = \
+                chunk[:min(CHUNK_SIZE, self.size - base)]
+        return out

@@ -31,6 +31,8 @@ class Event(Waitable):
 class Lock:
     """Mutual exclusion with FIFO hand-off."""
 
+    __slots__ = ("env", "name", "locked", "_waiters")
+
     def __init__(self, env: Environment, name: str = "lock"):
         self.env = env
         self.name = name
@@ -75,6 +77,8 @@ class Condition:
         lock.release()
     """
 
+    __slots__ = ("env", "lock", "name", "_waiters")
+
     def __init__(self, env: Environment, lock: Lock, name: str = "condition"):
         self.env = env
         self.lock = lock
@@ -106,6 +110,8 @@ class Condition:
 class Semaphore:
     """Counting semaphore with FIFO wake-up."""
 
+    __slots__ = ("env", "name", "value", "_waiters")
+
     def __init__(self, env: Environment, value: int = 1, name: str = "semaphore"):
         if value < 0:
             raise ValueError("semaphore initial value must be >= 0")
@@ -132,6 +138,8 @@ class Semaphore:
 
 class Queue:
     """Unbounded (or bounded) FIFO channel between processes."""
+
+    __slots__ = ("env", "name", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = "queue"):
         self.env = env

@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the simulation engine (events/sec, MiB/s).
+
+Drives the full ``nvcache+ssd`` stack with fio-like and db_bench-like
+workloads and measures how fast the *simulator* runs on the host: events
+dispatched per wall-clock second and simulated I/O bytes moved per
+wall-clock second. Simulated-time results (``sim_seconds``, stats) are
+recorded too, so a run doubles as a semantic regression check: engine
+optimizations must leave them bit-identical.
+
+Results live in ``BENCH_engine.json`` at the repo root. Each workload
+keeps a ``before`` snapshot (the engine as of the first benchmarked
+commit) and an ``after`` snapshot (the current engine), so the perf
+trajectory is tracked in-repo.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py             # measure + print
+    PYTHONPATH=src python tools/bench_engine.py --update    # rewrite 'after'
+    PYTHONPATH=src python tools/bench_engine.py --check     # CI: fail if
+                                                            # events/sec fell
+                                                            # >20% vs committed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.systems import Scale, build_stack  # noqa: E402
+from repro.workloads.db_bench import DbBench  # noqa: E402
+from repro.workloads.fio import FioJob, run_fio  # noqa: E402
+
+MIB = float(1024 * 1024)
+
+#: Regression tolerance for --check (events/sec may fall this much
+#: before the check fails; wall-clock numbers are noisy).
+CHECK_TOLERANCE = 0.20
+
+SCALE_FACTOR = 512
+
+
+def _events_dispatched(env) -> int:
+    """Dispatched-event count; falls back to scheduled-count on engines
+    that predate the ``events_dispatched`` counter."""
+    count = getattr(env, "events_dispatched", None)
+    if count is not None:
+        return count
+    return getattr(env, "_bench_scheduled", 0)
+
+
+def _instrument(env) -> None:
+    """Count scheduled callbacks on engines without a dispatch counter."""
+    if hasattr(env, "events_dispatched"):
+        return
+    env._bench_scheduled = 0
+    original = env.schedule
+
+    def counting_schedule(delay, callback):
+        env._bench_scheduled += 1
+        original(delay, callback)
+
+    env.schedule = counting_schedule
+
+
+def bench_fio(rw: str, size_mib: int = 8) -> dict:
+    """One fio job over nvcache+ssd; returns the measurement record."""
+    stack = build_stack("nvcache+ssd", scale=Scale(SCALE_FACTOR))
+    _instrument(stack.env)
+    job = FioJob(rw=rw, block_size=4096, size=size_mib * 1024 * 1024,
+                 fsync=1, direct=True)
+    wall_start = time.perf_counter()
+    result = run_fio(stack.env, stack.libc, job)
+    wall = time.perf_counter() - wall_start
+    events = _events_dispatched(stack.env)
+    sim_bytes = result.bytes_written + result.bytes_read
+    return {
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "sim_seconds": stack.env.now,
+        "sim_mib": round(sim_bytes / MIB, 3),
+        "sim_mib_per_wall_sec": round(sim_bytes / MIB / wall, 2),
+        "ops": result.write_count + result.read_count,
+        "nvcache_entries_created": stack.nvcache.stats.entries_created,
+    }
+
+
+def bench_db_bench(num: int = 3000) -> dict:
+    """db_bench fillseq + readrandom on MiniRocks over nvcache+ssd."""
+    from repro.apps.kvstore.db import MiniRocks
+
+    stack = build_stack("nvcache+ssd", scale=Scale(SCALE_FACTOR))
+    _instrument(stack.env)
+    env = stack.env
+    results = {}
+
+    def body():
+        db = yield from MiniRocks.open(stack.libc, "/db")
+        bench = DbBench(env, db, num=num, seed=7)
+        results["fillseq"] = yield from bench.fillseq()
+        results["readrandom"] = yield from bench.readrandom()
+        yield from db.close()
+
+    wall_start = time.perf_counter()
+    env.run_process(body(), name="db_bench")
+    wall = time.perf_counter() - wall_start
+    events = _events_dispatched(env)
+    sim_bytes = sum(r.bytes_moved for r in results.values())
+    return {
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "sim_seconds": env.now,
+        "sim_mib": round(sim_bytes / MIB, 3),
+        "sim_mib_per_wall_sec": round(sim_bytes / MIB / wall, 2),
+        "ops": sum(r.operations for r in results.values()),
+        "nvcache_entries_created": stack.nvcache.stats.entries_created,
+    }
+
+
+WORKLOADS = {
+    "fio_seq_write": lambda: bench_fio("write"),
+    "fio_randrw": lambda: bench_fio("randrw", size_mib=4),
+    "db_bench": lambda: bench_db_bench(),
+}
+
+
+def measure_all() -> dict:
+    measurements = {}
+    for name, runner in WORKLOADS.items():
+        print(f"  running {name} ...", flush=True)
+        measurements[name] = runner()
+    return measurements
+
+
+def load_results() -> dict:
+    if not os.path.exists(RESULTS_PATH):
+        return {"schema": 1, "scale": SCALE_FACTOR, "workloads": {}}
+    with open(RESULTS_PATH) as handle:
+        return json.load(handle)
+
+
+def save_results(results: dict) -> None:
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def print_table(results: dict) -> None:
+    header = (f"{'workload':<16} {'events/s':>12} {'MiB/s (sim)':>12} "
+              f"{'wall s':>8} {'vs before':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, entry in results["workloads"].items():
+        after = entry.get("after") or {}
+        before = entry.get("before") or {}
+        speedup = ""
+        if before.get("events_per_sec") and after.get("events_per_sec"):
+            speedup = f"{after['events_per_sec'] / before['events_per_sec']:.2f}x"
+        print(f"{name:<16} {after.get('events_per_sec', 0):>12,.0f} "
+              f"{after.get('sim_mib_per_wall_sec', 0):>12,.2f} "
+              f"{after.get('wall_seconds', 0):>8.2f} {speedup:>10}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the 'after' snapshots in BENCH_engine.json")
+    parser.add_argument("--baseline", action="store_true",
+                        help="record this run as the 'before' snapshots")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if events/sec regressed more than "
+                             f"{CHECK_TOLERANCE:.0%} vs BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    results = load_results()
+    print(f"engine benchmark (REPRO scale {SCALE_FACTOR})", flush=True)
+    measured = measure_all()
+
+    if args.check:
+        failures = []
+        for name, record in measured.items():
+            committed = results["workloads"].get(name, {}).get("after")
+            if not committed:
+                continue
+            floor = committed["events_per_sec"] * (1.0 - CHECK_TOLERANCE)
+            status = "ok" if record["events_per_sec"] >= floor else "REGRESSED"
+            print(f"  {name}: {record['events_per_sec']:,.0f} ev/s "
+                  f"(committed {committed['events_per_sec']:,.0f}, "
+                  f"floor {floor:,.0f}) {status}")
+            if record["events_per_sec"] < floor:
+                failures.append(name)
+        if failures:
+            print(f"FAIL: events/sec regressed >{CHECK_TOLERANCE:.0%} on: "
+                  + ", ".join(failures))
+            return 1
+        print("OK: no engine-speed regression")
+        return 0
+
+    key = "before" if args.baseline else "after"
+    for name, record in measured.items():
+        entry = results["workloads"].setdefault(name, {})
+        entry[key] = record
+        before = entry.get("before")
+        after = entry.get("after")
+        if before and after and before.get("events_per_sec"):
+            entry["speedup_events_per_sec"] = round(
+                after["events_per_sec"] / before["events_per_sec"], 2)
+    if args.update or args.baseline:
+        save_results(results)
+        print(f"wrote {RESULTS_PATH}")
+    print_table(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
