@@ -1,0 +1,100 @@
+"""Docs/tooling smoke runs (``docs_check`` marker, outside tier-1).
+
+Everything here shells out, because the point is that the *commands the
+documentation tells people to run* actually run: ``tools/check_docs.py``
+(docs drift), ``tools/metrics_report.py`` (the dashboard and its export
+modes), and the ``examples/`` scripts.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.docs_check
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_script(*argv, timeout=120):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return subprocess.run([sys.executable, *argv], cwd=REPO_ROOT, env=env,
+                          capture_output=True, text=True, timeout=timeout)
+
+
+def test_check_docs_passes():
+    result = run_script("tools/check_docs.py")
+    assert result.returncode == 0, result.stderr
+    assert "all documented" in result.stdout
+
+
+def test_check_docs_detects_missing_metric(tmp_path):
+    # Remove one documented name; the checker must fail and name it.
+    doc_path = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+    with open(doc_path) as handle:
+        doc = handle.read()
+    broken = doc.replace("`core.nvcache.hit_ratio`", "`(redacted)`")
+    assert broken != doc
+    tmp_doc = tmp_path / "OBSERVABILITY.md"
+    tmp_doc.write_text(broken)
+
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", os.path.join(REPO_ROOT, "tools", "check_docs.py"))
+    check_docs = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_docs)
+    registered = check_docs.registered_names()
+    documented = check_docs.documented_names(broken)
+    assert "core.nvcache.hit_ratio" in registered - documented
+
+
+def test_metrics_report_dashboard():
+    result = run_script("tools/metrics_report.py", "--size-mib", "1")
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "read-cache hit ratio" in out
+    assert "log occupancy" in out
+    assert "p99 write latency" in out
+    assert "[core]" in out and "[nvmm]" in out and "[block]" in out
+
+
+def test_metrics_report_prometheus_export():
+    result = run_script("tools/metrics_report.py", "--size-mib", "1",
+                        "--export", "prom")
+    assert result.returncode == 0, result.stderr
+    assert "# TYPE core_nvcache_writes_ops counter" in result.stdout
+    assert "_bucket{le=" in result.stdout
+
+
+def test_metrics_report_json_export():
+    result = run_script("tools/metrics_report.py", "--size-mib", "1",
+                        "--export", "json")
+    assert result.returncode == 0, result.stderr
+    snapshot = json.loads(result.stdout)
+    by_name = {m["name"]: m for m in snapshot["metrics"]}
+    assert by_name["core.nvcache.writes"]["value"] > 0
+
+
+def test_metrics_report_dm_writecache():
+    result = run_script("tools/metrics_report.py", "--system",
+                        "dm-writecache+ssd", "--size-mib", "1")
+    assert result.returncode == 0, result.stderr
+    assert "block.dm_writecache.occupancy" in result.stdout
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "trace_profile.py",
+    "log_saturation.py",
+    "multi_instance.py",
+    "legacy_database.py",
+    "inspect_crash.py",
+])
+def test_example_scripts_run(script):
+    result = run_script(os.path.join("examples", script), timeout=300)
+    assert result.returncode == 0, (result.stdout + result.stderr)[-2000:]

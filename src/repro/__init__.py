@@ -15,6 +15,9 @@ Top-level package layout:
 - :mod:`repro.workloads` -- FIO and db_bench workload generators.
 - :mod:`repro.harness` -- the seven evaluated stacks and per-figure
   experiment drivers.
+- :mod:`repro.obs` -- unified observability: metrics registry, latency
+  histograms, simulated-time sampler, Prometheus/JSON exporters
+  (reference: docs/OBSERVABILITY.md).
 """
 
 __version__ = "1.0.0"

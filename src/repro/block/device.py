@@ -69,6 +69,42 @@ class BlockDevice:
         self._lock = Lock(env, name=f"{name}.queue")
         self._last_write_end: Optional[int] = None
         self._last_read_end: Optional[int] = None
+        self._m_read_latency = None
+        self._m_write_latency = None
+        self._m_flush_latency = None
+        if env.metrics is not None:
+            self.register_metrics(env.metrics)
+
+    def register_metrics(self, registry) -> None:
+        """Expose per-device counters, queue depth, and per-op latency
+        histograms under ``block.<name>.*`` (see docs/OBSERVABILITY.md)."""
+        from ..obs import sanitize
+        m = registry.scope(f"block.{sanitize(self.name)}")
+        stats = self.stats
+        m.counter("reads", unit="ops", help="read requests served",
+                  fn=lambda: stats.reads)
+        m.counter("writes", unit="ops", help="write requests served",
+                  fn=lambda: stats.writes)
+        m.counter("flushes", unit="ops", help="write barriers served",
+                  fn=lambda: stats.flushes)
+        m.counter("bytes_read", unit="bytes", fn=lambda: stats.bytes_read)
+        m.counter("bytes_written", unit="bytes", fn=lambda: stats.bytes_written)
+        m.counter("sequential_writes", unit="ops",
+                  help="writes hitting the sequential fast path",
+                  fn=lambda: stats.sequential_writes)
+        m.counter("random_writes", unit="ops",
+                  fn=lambda: stats.random_writes)
+        m.gauge("busy_time", unit="s", help="cumulative service time",
+                fn=lambda: stats.busy_time)
+        m.gauge("queue_depth", unit="requests",
+                help="in-flight plus queued requests (qd1 device lock)",
+                fn=lambda: int(self._lock.locked) + len(self._lock._waiters))
+        self._m_read_latency = m.histogram(
+            "read_latency", unit="s", help="per-read service time")
+        self._m_write_latency = m.histogram(
+            "write_latency", unit="s", help="per-write service time")
+        self._m_flush_latency = m.histogram(
+            "flush_latency", unit="s", help="per-barrier service time")
 
     # -- storage helpers ----------------------------------------------------
 
@@ -134,6 +170,8 @@ class BlockDevice:
             self.stats.reads += 1
             self.stats.bytes_read += nbytes
             self.stats.busy_time += delay
+            if self._m_read_latency is not None:
+                self._m_read_latency.observe(delay)
             yield self.env.timeout(delay)
             if self.env.tracer is not None:
                 self.env.tracer.add(self.env.now - delay, delay, self.name,
@@ -153,6 +191,8 @@ class BlockDevice:
             self.stats.writes += 1
             self.stats.bytes_written += len(data)
             self.stats.busy_time += delay
+            if self._m_write_latency is not None:
+                self._m_write_latency.observe(delay)
             yield self.env.timeout(delay)
             if self.env.tracer is not None:
                 self.env.tracer.add(self.env.now - delay, delay, self.name,
@@ -168,6 +208,8 @@ class BlockDevice:
         try:
             self.stats.flushes += 1
             self.stats.busy_time += self.timing.flush_latency
+            if self._m_flush_latency is not None:
+                self._m_flush_latency.observe(self.timing.flush_latency)
             yield self.env.timeout(self.timing.flush_latency)
             if self.env.tracer is not None:
                 self.env.tracer.add(self.env.now - self.timing.flush_latency,

@@ -12,6 +12,21 @@ Retirement follows the paper's three steps: (1) pwrite+fsync the entries,
 (3) advance the volatile tail so writers can reuse the slots. Groups
 (multi-entry writes) are always retired whole, so the persistent tail
 never lands inside a half-propagated group.
+
+The thread is also the wake-up source for two kinds of parked waiters
+(no polling on their side): *drain* waiters (``request_drain`` — fired
+once the volatile tail passes the head observed at request time) and
+*close-headroom* waiters (``request_close_headroom`` — fired when the
+deferred-close backlog shrinks below the caller's threshold; this is
+``Nvcache.close``'s backpressure valve against fd-table exhaustion).
+Only the thread itself polls, at ``_TICK`` while idle, which is the
+paper's design and keeps the batching timing model untouched.
+
+Observability: with a metrics registry attached (docs/OBSERVABILITY.md),
+the thread reports batch/entry/fsync counters, the deferred-close
+backlog, and a per-batch size histogram under ``core.cleanup.*`` — the
+rate of ``core.cleanup.entries_retired`` is the drain rate the paper's
+Fig 5 saturation analysis hinges on.
 """
 
 from __future__ import annotations
@@ -43,6 +58,8 @@ class CleanupThread:
         # Set by Nvcache: generator performing the kernel-level close of
         # a deferred fd (close + path-slot clear + cache release).
         self.finalize_fd = None
+        # Set by Nvcache.register_metrics when observability is on.
+        self._m_batch_size = None
         self._drain_waiters: List[Tuple[int, Waitable]] = []
         self._close_waiters: List[Tuple[int, Waitable]] = []
         self._last_progress = 0.0
@@ -206,6 +223,8 @@ class CleanupThread:
         self.log.advance_volatile_tail(batch[-1] + 1)
         self.stats.cleanup_batches += 1
         self.stats.cleanup_entries += len(batch)
+        if self._m_batch_size is not None:
+            self._m_batch_size.observe(len(batch))
         if self.env.tracer is not None:
             self.env.tracer.add(self.env.now, 0.0, "nvcache", "batch",
                                 "cleanup", entries=len(batch),

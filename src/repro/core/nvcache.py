@@ -64,8 +64,82 @@ class Nvcache:
         self.cleanup = CleanupThread(env, self.log, kernel, self.tables,
                                      config, self.stats)
         self.cleanup.finalize_fd = self._finalize_fd
+        self._m_write_latency = None
+        self._m_read_latency = None
+        if env.metrics is not None:
+            self.register_metrics(env.metrics)
         if start_cleanup:
             self.cleanup.start()
+
+    def register_metrics(self, registry) -> None:
+        """Expose the instance under ``core.nvcache.*`` plus the log
+        (``core.log.*``) and cleanup thread (``core.cleanup.*``) scopes
+        (see docs/OBSERVABILITY.md)."""
+        stats = self.stats
+        log = self.log
+
+        m = registry.scope("core.nvcache")
+        m.counter("writes", unit="ops", help="intercepted write/pwrite calls",
+                  fn=lambda: stats.writes)
+        m.counter("reads", unit="ops", help="intercepted read/pread calls",
+                  fn=lambda: stats.reads)
+        m.counter("bytes_written", unit="bytes", fn=lambda: stats.bytes_written)
+        m.counter("bytes_read", unit="bytes", fn=lambda: stats.bytes_read)
+        m.counter("read_hits", unit="ops", help="reads served from the "
+                  "user-space read cache", fn=lambda: stats.read_hits)
+        m.counter("read_misses", unit="ops", fn=lambda: stats.read_misses)
+        m.counter("dirty_misses", unit="ops",
+                  help="misses reconstructed from pending log entries "
+                       "(paper §II-C dirty-miss procedure)",
+                  fn=lambda: stats.dirty_misses)
+        m.counter("fsyncs_ignored", unit="ops",
+                  help="fsync/fdatasync calls satisfied for free",
+                  fn=lambda: stats.fsyncs_ignored)
+        m.counter("evictions", unit="pages", help="read-cache CLOCK evictions",
+                  fn=lambda: stats.evictions)
+        m.counter("group_writes", unit="ops",
+                  help="writes needing more than one log entry",
+                  fn=lambda: stats.group_writes)
+        m.gauge("hit_ratio", unit="ratio",
+                help="read_hits / (read_hits + read_misses)",
+                fn=stats.hit_rate)
+        self._m_write_latency = m.histogram(
+            "write_latency", unit="s",
+            help="app-visible pwrite latency (durable at return)")
+        self._m_read_latency = m.histogram(
+            "read_latency", unit="s", help="app-visible pread latency")
+
+        m = registry.scope("core.log")
+        m.gauge("entries_used", unit="entries", help="head - volatile tail",
+                fn=log.used)
+        m.gauge("entries_total", unit="entries", help="log capacity",
+                fn=lambda: log.entries)
+        m.gauge("occupancy", unit="ratio",
+                help="used / capacity — Fig 5's saturation signal",
+                fn=lambda: log.used() / log.entries)
+        m.counter("entries_created", unit="entries",
+                  help="log entries ever allocated",
+                  fn=lambda: stats.entries_created)
+        m.counter("full_waits", unit="ops",
+                  help="writes stalled on a full log (backpressure)",
+                  fn=lambda: stats.log_full_waits)
+
+        m = registry.scope("core.cleanup")
+        m.counter("batches", unit="ops", help="cleanup batches retired",
+                  fn=lambda: stats.cleanup_batches)
+        m.counter("entries_retired", unit="entries",
+                  help="log entries propagated to the kernel — rate of "
+                       "this counter is the drain rate",
+                  fn=lambda: stats.cleanup_entries)
+        m.counter("fsyncs", unit="ops",
+                  help="syncfs barriers issued by the cleanup thread",
+                  fn=lambda: stats.cleanup_fsyncs)
+        m.gauge("deferred_closes", unit="fds",
+                help="fds whose kernel close awaits entry retirement",
+                fn=lambda: len(self.tables.deferred_close))
+        self.cleanup._m_batch_size = m.histogram(
+            "batch_size", unit="entries", help="entries per retired batch",
+            start=1.0, factor=2.0, buckets=24)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -168,6 +242,7 @@ class Nvcache:
         page_size = config.page_size
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        began = self.env.now
 
         # Split into fixed-size entries (contiguous group allocation).
         chunk_size = config.entry_data_size
@@ -221,6 +296,8 @@ class Nvcache:
         finally:
             for descriptor in descriptors:
                 descriptor.atomic_lock.release()
+        if self._m_write_latency is not None:
+            self._m_write_latency.observe(self.env.now - began)
         if self.env.tracer is not None:
             self.env.tracer.add(self.env.now, 0.0, self.name, "pwrite",
                                 "app", fd=fd, offset=offset,
@@ -260,12 +337,15 @@ class Nvcache:
             yield self.env.timeout(0.0)
             return b""
         nbytes = min(nbytes, nv_file.size - offset)
+        began = self.env.now
         if nv_file.radix is None:
             # Read-only file: the kernel page cache is authoritative and
             # NVCache stays entirely out of the way (paper §II-A).
             self.stats.read_only_bypass += 1
             data = yield from self.kernel.pread(fd, nbytes, offset)
             self.stats.bytes_read += len(data)
+            if self._m_read_latency is not None:
+                self._m_read_latency.observe(self.env.now - began)
             return data
 
         page_size = self.config.page_size
@@ -290,6 +370,8 @@ class Nvcache:
                 descriptor.atomic_lock.release()
             position += chunk
         self.stats.bytes_read += len(out)
+        if self._m_read_latency is not None:
+            self._m_read_latency.observe(self.env.now - began)
         return bytes(out)
 
     def _load_page(self, handle: NvOpenFile, descriptor: PageDescriptor) -> Generator:

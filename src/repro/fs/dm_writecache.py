@@ -59,6 +59,25 @@ class DmWriteCache(BlockDevice):
         self.writeback_running = False
         self._writeback_proc = env.spawn(self._writeback_daemon(), name=f"{name}.writeback")
 
+    def register_metrics(self, registry) -> None:
+        """Block-device metrics plus the dm-writecache cache state
+        (dirty blocks, occupancy, writeback activity)."""
+        super().register_metrics(registry)
+        from ..obs import sanitize
+        m = registry.scope(f"block.{sanitize(self.name)}")
+        m.gauge("dirty_blocks", unit="blocks",
+                help="cached blocks not yet written back to the origin",
+                fn=self.dirty_blocks)
+        m.gauge("cached_blocks", unit="blocks",
+                help="blocks resident in the NVMM cache",
+                fn=lambda: len(self._cache_blocks))
+        m.gauge("occupancy", unit="ratio",
+                help="dirty blocks / cache capacity (watermarks at 0.40/0.45)",
+                fn=lambda: self.dirty_blocks() / self.cache_capacity_blocks)
+        m.gauge("writeback_active", unit="bool",
+                help="1 while the background writeback is draining",
+                fn=lambda: int(self.writeback_running))
+
     # -- cache state -----------------------------------------------------------
 
     def dirty_blocks(self) -> int:
@@ -81,6 +100,8 @@ class DmWriteCache(BlockDevice):
             self.stats.writes += 1
             self.stats.bytes_written += len(data)
             self.stats.busy_time += delay
+            if self._m_write_latency is not None:
+                self._m_write_latency.observe(delay)
             yield self.env.timeout(delay)
             pos = 0
             while pos < len(data):
@@ -123,6 +144,8 @@ class DmWriteCache(BlockDevice):
         """Commit dm-writecache metadata in NVMM (fast: a psync, not a
         disk flush). Cached writes are durable in NVMM after this."""
         self.stats.flushes += 1
+        if self._m_flush_latency is not None:
+            self._m_flush_latency.observe(self.timing.flush_latency)
         yield self.env.timeout(self.timing.flush_latency)
 
     # -- background writeback ------------------------------------------------------

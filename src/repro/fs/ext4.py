@@ -48,6 +48,30 @@ class Ext4(Filesystem):
         self._free_blocks: List[int] = []
         self._total_blocks = device.size // PAGE_SIZE
         self._pending_journal = 0  # journal records not yet committed
+        self._m_journal_commits = None
+        self._m_fast_commits = None
+        self._m_commit_latency = None
+        if env.metrics is not None:
+            self.register_metrics(env.metrics)
+
+    def register_metrics(self, registry) -> None:
+        """Expose journal activity and allocator state under
+        ``fs.ext4.*`` (see docs/OBSERVABILITY.md)."""
+        m = registry.scope("fs.ext4")
+        self._m_journal_commits = m.counter(
+            "journal_commits", unit="ops",
+            help="full jbd2 commits (journal record + device flush)")
+        self._m_fast_commits = m.counter(
+            "fast_commits", unit="ops",
+            help="fdatasync fast-path commits (no metadata pending)")
+        m.gauge("journal_pending", unit="records",
+                help="metadata records awaiting the next commit",
+                fn=lambda: self._pending_journal)
+        m.gauge("free_bytes", unit="bytes", help="unallocated data blocks",
+                fn=self.free_space)
+        self._m_commit_latency = m.histogram(
+            "commit_latency", unit="s",
+            help="fsync barrier latency incl. the device flush")
 
     # -- block allocation -------------------------------------------------------
 
@@ -108,7 +132,10 @@ class Ext4(Filesystem):
         the fdatasync fast path — just the device flush — which is why an
         overwrite-heavy synchronous workload on a *fast* device
         (dm-writecache) is so much cheaper than one that allocates."""
+        began = self.env.now
         if self._pending_journal:
+            if self._m_journal_commits is not None:
+                self._m_journal_commits.inc()
             yield self.env.timeout(self.cpu.journal_commit)
             record = b"JBD2" + bytes(PAGE_SIZE - 4)
             offset = self.journal_base + (
@@ -117,8 +144,12 @@ class Ext4(Filesystem):
             self._pending_journal = 0
             yield from self.device.write(offset, record)
         else:
+            if self._m_fast_commits is not None:
+                self._m_fast_commits.inc()
             yield self.env.timeout(self.cpu.journal_commit / 8)
         yield from self.device.flush()
+        if self._m_commit_latency is not None:
+            self._m_commit_latency.observe(self.env.now - began)
 
     def sync(self) -> Generator:
         yield from self.commit()

@@ -1,4 +1,5 @@
-"""Result formatting: the tables and series the paper's figures show."""
+"""Result formatting: the tables and series the paper's figures show,
+plus plain-text rendering of metrics-registry snapshots (repro.obs)."""
 
 from __future__ import annotations
 
@@ -48,6 +49,53 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
         ]
     top = max(values) or 1.0
     return "".join(blocks[min(8, int(value / top * 8))] for value in values)
+
+
+def _format_metric_value(value: float, unit: str) -> str:
+    if unit == "s":
+        return fmt_time(value)
+    if unit == "ratio":
+        return f"{value:.3f}"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))
+
+
+def format_metrics_table(registry, prefix: Optional[str] = None,
+                         title: Optional[str] = None) -> str:
+    """A registry snapshot as an aligned table, one row per metric.
+
+    Counters and gauges show their scalar value; histograms show count,
+    mean, and p50/p95/p99. ``prefix`` restricts to one layer or
+    component (``'block'``, ``'core.log'``, ...).
+    """
+    from ..obs.metrics import Histogram
+    rows: List[List[object]] = []
+    for metric in registry.collect(prefix):
+        if isinstance(metric, Histogram):
+            fmt = fmt_time if metric.unit == "s" else (lambda v: f"{v:.1f}")
+            q = metric.percentiles()
+            value = (f"n={metric.count} mean={fmt(metric.mean)} "
+                     f"p50={fmt(q['p50'])} p95={fmt(q['p95'])} "
+                     f"p99={fmt(q['p99'])}"
+                     if metric.count else "n=0")
+        else:
+            value = _format_metric_value(metric.value(), metric.unit)
+        rows.append([metric.name, metric.kind, metric.unit, value])
+    return format_table(["metric", "type", "unit", "value"], rows, title=title)
+
+
+def format_metrics_by_layer(registry, title: Optional[str] = None) -> str:
+    """One table per layer (``nvmm``, ``block``, ``kernel``, ``fs``,
+    ``core``), concatenated — the digest ``tools/metrics_report.py``
+    prints after a run."""
+    sections = []
+    if title:
+        sections.append(title)
+    for layer in registry.layers():
+        sections.append(format_metrics_table(registry, prefix=layer,
+                                             title=f"[{layer}]"))
+    return "\n\n".join(sections)
 
 
 def format_fio_comparison(results: Dict[str, "FioResult"],

@@ -18,6 +18,7 @@ from ..fs import DmWriteCache, Ext4, Ext4Dax, Nova, Tmpfs
 from ..kernel import Kernel
 from ..libc import Libc, NvcacheLibc
 from ..nvmm import NvmmDevice
+from ..obs import MetricsRegistry
 from ..sim import Environment
 from ..units import GIB, KIB, MIB
 
@@ -147,6 +148,9 @@ class StorageStack:
     libc: Libc
     nvcache: Optional[Nvcache] = None
     devices: Dict[str, object] = field(default_factory=dict)
+    #: Populated when built with ``metrics=True`` (see repro.obs); every
+    #: layer of the stack self-registers its counters/gauges/histograms.
+    metrics: Optional[MetricsRegistry] = None
 
     def settle(self) -> Generator:
         """Quiesce after a layout phase: drain NVCache / sync the kernel."""
@@ -168,9 +172,20 @@ class StorageStack:
 
 def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                 config: Optional[NvcacheConfig] = None,
-                ssd_size: int = 8 * GIB) -> StorageStack:
-    """Construct one of the seven evaluated stacks."""
+                ssd_size: int = 8 * GIB,
+                metrics: bool = False) -> StorageStack:
+    """Construct one of the seven evaluated stacks.
+
+    With ``metrics=True`` a :class:`~repro.obs.MetricsRegistry` is
+    attached to the environment before any component is built, so every
+    layer (devices, page cache, filesystems, NVCache) self-registers its
+    metrics; the registry is returned on ``StorageStack.metrics``.
+    """
     env = Environment()
+    registry = None
+    if metrics:
+        registry = MetricsRegistry()
+        env.metrics = registry
     kernel = Kernel(env)
     devices: Dict[str, object] = {}
 
@@ -178,23 +193,27 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         ssd = SsdDevice(env, size=ssd_size)
         kernel.mount("/", Ext4(env, ssd))
         devices["ssd"] = ssd
-        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
+                            metrics=registry)
 
     if name == "tmpfs":
         kernel.mount("/", Tmpfs(env))
-        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
+                            metrics=registry)
 
     if name == "ext4-dax":
         nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
         kernel.mount("/", Ext4Dax(env, nvmm))
         devices["nvmm"] = nvmm
-        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
+                            metrics=registry)
 
     if name == "nova":
         nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
         kernel.mount("/", Nova(env, nvmm))
         devices["nvmm"] = nvmm
-        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
+                            metrics=registry)
 
     if name == "dm-writecache+ssd":
         ssd = SsdDevice(env, size=ssd_size)
@@ -202,7 +221,8 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         kernel.mount("/", Ext4(env, dm))
         devices["ssd"] = ssd
         devices["dm"] = dm
-        return StorageStack(name, env, kernel, Libc(kernel), devices=devices)
+        return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
+                            metrics=registry)
 
     if name in ("nvcache+ssd", "nvcache+nova"):
         if name == "nvcache+ssd":
@@ -219,6 +239,7 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         nvcache = Nvcache(env, kernel, log_nvmm, cache_config)
         devices["log_nvmm"] = log_nvmm
         return StorageStack(name, env, kernel, NvcacheLibc(nvcache),
-                            nvcache=nvcache, devices=devices)
+                            nvcache=nvcache, devices=devices,
+                            metrics=registry)
 
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")

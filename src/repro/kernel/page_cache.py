@@ -63,6 +63,33 @@ class PageCache:
         self._inode_locks: Dict[Tuple[int, int], Lock] = {}
         self.stats = PageCacheStats()
         self._writeback_process = None
+        if env.metrics is not None:
+            self.register_metrics(env.metrics)
+
+    def register_metrics(self, registry) -> None:
+        """Expose hit/miss/eviction counters and dirty/cached page gauges
+        under ``kernel.page_cache.*`` (see docs/OBSERVABILITY.md)."""
+        m = registry.scope("kernel.page_cache")
+        stats = self.stats
+        m.counter("hits", unit="ops", help="lookups served from the cache",
+                  fn=lambda: stats.hits)
+        m.counter("misses", unit="ops", help="lookups that went to the fs",
+                  fn=lambda: stats.misses)
+        m.counter("evictions", unit="pages", help="pages recycled under pressure",
+                  fn=lambda: stats.evictions)
+        m.counter("writeback_pages", unit="pages",
+                  help="dirty pages written to the fs (fsync + daemon)",
+                  fn=lambda: stats.writeback_pages)
+        m.counter("dirty_combines", unit="ops",
+                  help="writes absorbed by an already-dirty page "
+                       "(the paper's §IV-C write combining)",
+                  fn=lambda: stats.dirty_combines)
+        m.gauge("dirty_pages", unit="pages", help="pages awaiting writeback",
+                fn=self.dirty_page_count)
+        m.gauge("cached_pages", unit="pages", help="resident page count",
+                fn=self.cached_page_count)
+        m.gauge("capacity_pages", unit="pages", help="eviction threshold",
+                fn=lambda: self.capacity_pages)
 
     # -- helpers -------------------------------------------------------------
 

@@ -80,7 +80,8 @@ class NvmmDevice:
     """A single NVMM module (or DAX file): media + volatile cache overlay."""
 
     __slots__ = ("env", "size", "timing", "name", "_media", "_overlay",
-                 "_dirty", "_flush_queue", "_undrained_lines", "stats")
+                 "_dirty", "_flush_queue", "_undrained_lines", "stats",
+                 "_m_psync_latency")
 
     def __init__(self, env: Environment, size: int, timing: Optional[NvmmTiming] = None,
                  media: Optional[bytearray] = None, name: str = "nvmm0"):
@@ -106,6 +107,37 @@ class NvmmDevice:
         # charged yet — the next psync pays for them.
         self._undrained_lines = 0
         self.stats = NvmmStats()
+        self._m_psync_latency = None
+        if env.metrics is not None:
+            self.register_metrics(env.metrics)
+
+    def register_metrics(self, registry) -> None:
+        """Expose this module's counters under ``nvmm.<name>.*`` (see
+        docs/OBSERVABILITY.md)."""
+        from ..obs import sanitize
+        m = registry.scope(f"nvmm.{sanitize(self.name)}")
+        stats = self.stats
+        m.counter("stores", unit="ops", help="CPU stores into the overlay",
+                  fn=lambda: stats.stores)
+        m.counter("loads", unit="ops", help="CPU loads", fn=lambda: stats.loads)
+        m.counter("bytes_stored", unit="bytes", help="payload bytes stored",
+                  fn=lambda: stats.bytes_stored)
+        m.counter("bytes_loaded", unit="bytes", help="payload bytes loaded",
+                  fn=lambda: stats.bytes_loaded)
+        m.counter("pwbs", unit="ops", help="cache-line write-backs enqueued",
+                  fn=lambda: stats.pwbs)
+        m.counter("pfences", unit="ops", help="ordering fences",
+                  fn=lambda: stats.pfences)
+        m.counter("psyncs", unit="ops", help="durability drains",
+                  fn=lambda: stats.psyncs)
+        m.counter("lines_persisted", unit="lines",
+                  help="cache lines reaching the media",
+                  fn=lambda: stats.lines_persisted)
+        m.gauge("dirty_lines", unit="lines",
+                help="overlay lines not yet persisted",
+                fn=self.dirty_line_count)
+        self._m_psync_latency = m.histogram(
+            "psync_latency", unit="s", help="simulated psync drain latency")
 
     # -- address helpers ---------------------------------------------------
 
@@ -240,6 +272,8 @@ class NvmmDevice:
         delay = (self.timing.flush_base_latency
                  + self._undrained_lines * self.timing.per_line_flush)
         self._undrained_lines = 0
+        if self._m_psync_latency is not None:
+            self._m_psync_latency.observe(delay)
         yield self.env.timeout(delay)
 
     def timed_store(self, addr: int, data: bytes) -> Generator:

@@ -12,6 +12,14 @@ fresh NVMM in the model.
 The accessors are written so the overwhelmingly common case — an access
 that falls inside one chunk — is a single dict lookup plus one slice
 operation.
+
+This buffer is load-bearing for the flat-overlay fast path
+(DESIGN.md §6): :class:`~repro.nvmm.device.NvmmDevice` keeps *two* of
+these — the durable media and the volatile CPU-cache overlay shadowing
+it — and a crash image is the media plus whichever overlay lines the
+eviction model let survive. ``copy_from`` moves whole line ranges
+between the two without materializing untouched chunks on either side,
+so persisting and imaging a mostly-empty module stays cheap too.
 """
 
 from __future__ import annotations

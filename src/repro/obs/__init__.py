@@ -1,0 +1,46 @@
+"""repro.obs — the unified observability layer.
+
+One registry of typed metrics (counters, gauges, log-bucketed latency
+histograms) spans every layer of the simulated I/O stack, keyed by
+dotted ``layer.component.metric`` names:
+
+    nvmm.pmem0.psyncs           core.log.occupancy
+    block.ssd0.write_latency    core.nvcache.hit_ratio
+    kernel.page_cache.hits      core.cleanup.entries_retired
+
+Enable it per environment — components self-register when they see a
+registry on their environment::
+
+    from repro.obs import MetricsRegistry, Sampler
+    from repro.harness import build_stack, Scale
+
+    stack = build_stack("nvcache+ssd", Scale(512), metrics=True)
+    sampler = Sampler(stack.env, stack.metrics, period=0.5).start()
+    ... run a workload ...
+    print(stack.metrics.get("core.nvcache.hit_ratio").value())
+    times, occupancy = sampler.series("core.log.occupancy")
+
+Export with :func:`to_prometheus_text` / :func:`to_json_text`, render a
+plain-text dashboard with ``tools/metrics_report.py``, and see
+``docs/OBSERVABILITY.md`` for the full metric reference (coverage is
+enforced by ``tools/check_docs.py``).
+"""
+
+from .export import to_json, to_json_text, to_prometheus_text
+from .metrics import (Counter, Gauge, Histogram, Metric, MetricsRegistry,
+                      Scope, sanitize)
+from .sampler import Sampler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Sampler",
+    "Scope",
+    "sanitize",
+    "to_json",
+    "to_json_text",
+    "to_prometheus_text",
+]

@@ -1,0 +1,100 @@
+"""Registry exporters: Prometheus text exposition and JSON.
+
+Both exporters are pure functions of the registry state, so identical
+runs produce byte-identical output — the golden tests in
+``tests/obs/test_export.py`` rely on that.
+
+- :func:`to_prometheus_text` emits the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / samples). Dotted names become underscored
+  (``block.ssd0.reads`` -> ``block_ssd0_reads``); histograms emit
+  cumulative ``_bucket{le="..."}`` samples up to the last occupied
+  bucket plus ``+Inf``, then ``_sum`` and ``_count``, like a native
+  Prometheus client.
+- :func:`to_json` / :func:`to_json_text` emit a machine-readable dump
+  with full histogram detail (buckets, quantiles), suitable for diffing
+  runs or feeding a plotting script.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .metrics import Histogram, Metric, MetricsRegistry
+
+
+def _format_number(value: float) -> str:
+    """Shortest faithful rendering: integers without a decimal point."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prometheus_name(name: str, unit: str) -> str:
+    flat = name.replace(".", "_")
+    if unit and not flat.endswith("_" + unit):
+        flat = f"{flat}_{unit}"
+    return flat
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        flat = _prometheus_name(metric.name, metric.unit)
+        if metric.help:
+            lines.append(f"# HELP {flat} {metric.help}")
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            last_occupied = -1
+            for index, count in enumerate(metric.counts):
+                if count:
+                    last_occupied = index
+            for index in range(min(last_occupied + 1, len(metric.bounds))):
+                cumulative += metric.counts[index]
+                bound = _format_number(metric.bounds[index])
+                lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{flat}_sum {_format_number(metric.sum)}")
+            lines.append(f"{flat}_count {metric.count}")
+        else:
+            lines.append(f"# TYPE {flat} {metric.kind}")
+            lines.append(f"{flat} {_format_number(metric.value())}")
+    return "\n".join(lines) + "\n"
+
+
+def _metric_json(metric: Metric) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "name": metric.name,
+        "kind": metric.kind,
+        "unit": metric.unit,
+        "help": metric.help,
+    }
+    if isinstance(metric, Histogram):
+        entry["count"] = metric.count
+        entry["sum"] = metric.sum
+        entry["min"] = metric.min if metric.count else 0.0
+        entry["max"] = metric.max
+        entry.update(metric.percentiles())
+        entry["buckets"] = [
+            {"le": bound, "count": count}
+            for bound, count in zip(metric.bounds, metric.counts)
+            if count
+        ]
+        entry["overflow"] = metric.counts[-1]
+    else:
+        entry["value"] = metric.value()
+    return entry
+
+
+def to_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry as a JSON-serializable dict."""
+    return {"metrics": [_metric_json(metric) for metric in registry.collect()]}
+
+
+def to_json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    """Deterministic JSON text (sorted keys, fixed indent)."""
+    return json.dumps(to_json(registry), indent=indent, sort_keys=True) + "\n"

@@ -28,6 +28,17 @@ sequence)`` order. Because the clock never moves backwards, lane entries are
 appended in already-sorted order, making the merge a pair of head
 comparisons instead of an O(log n) heap round-trip per event. Entries are
 ``(time, seq, fn, args)`` tuples, so firing a callback allocates no closure.
+The fast path changes only the *wall* clock, never the simulated one:
+``tests/sim/test_determinism.py`` pins the dispatch order and
+``tools/bench_engine.py`` (see DESIGN.md §6) tracks the speedup.
+
+Observability hooks: an :class:`Environment` carries two optional,
+off-by-default attachment points — ``tracer`` (a
+:class:`repro.sim.trace.Tracer` recording a per-event timeline) and
+``metrics`` (a :class:`repro.obs.MetricsRegistry`; instrumented
+components self-register their counters/gauges/histograms against it at
+construction time). Both are plain attributes, cost one ``is not None``
+check when unused, and never affect simulated time.
 """
 
 from __future__ import annotations
@@ -177,13 +188,16 @@ class Environment:
     """The event loop: virtual clock, zero-delay lane, and a heap of
     timed callbacks."""
 
-    __slots__ = ("now", "tracer", "events_dispatched", "_heap", "_lane",
-                 "_sequence", "_stop_requested", "_crashed_process")
+    __slots__ = ("now", "tracer", "metrics", "events_dispatched", "_heap",
+                 "_lane", "_sequence", "_stop_requested", "_crashed_process")
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
-        # Optional observability hook (see repro.sim.trace.Tracer).
+        # Optional observability hooks (see repro.sim.trace.Tracer and
+        # repro.obs.MetricsRegistry). Components that support metrics
+        # self-register when constructed with ``metrics`` already set.
         self.tracer = None
+        self.metrics = None
         # Callbacks dispatched so far (read by the perf harness).
         self.events_dispatched = 0
         self._heap: List[_Entry] = []

@@ -1,0 +1,96 @@
+"""Exporter golden-file round-trips.
+
+The golden files under ``tests/obs/golden/`` pin the exact exporter
+output for a fixed registry; both exporters are pure functions of
+registry state, so any diff is a deliberate format change — update the
+goldens by running this file with ``REGEN_GOLDEN=1``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, to_json, to_json_text, to_prometheus_text
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def build_fixed_registry() -> MetricsRegistry:
+    """A small registry with deterministic contents, one of each kind."""
+    registry = MetricsRegistry()
+    registry.counter("block.ssd0.reads", unit="ops",
+                     help="read requests served").inc(42)
+    registry.counter("block.ssd0.bytes_read", unit="bytes").inc(172032)
+    registry.gauge("core.log.occupancy", unit="ratio",
+                   help="used / capacity").set(0.625)
+    hist = registry.histogram("core.nvcache.write_latency", unit="s",
+                              help="app-visible pwrite latency",
+                              start=1e-6, factor=2.0, buckets=8)
+    for value in (1.5e-6, 3e-6, 3.5e-6, 1e-5, 1e-4):
+        hist.observe(value)
+    return registry
+
+
+def check_golden(filename: str, produced: str) -> None:
+    path = os.path.join(GOLDEN_DIR, filename)
+    if os.environ.get("REGEN_GOLDEN"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(produced)
+    with open(path) as handle:
+        expected = handle.read()
+    assert produced == expected
+
+
+def test_prometheus_golden():
+    check_golden("fixed.prom", to_prometheus_text(build_fixed_registry()))
+
+
+def test_json_golden():
+    check_golden("fixed.json", to_json_text(build_fixed_registry()))
+
+
+def test_exporters_are_deterministic():
+    assert (to_prometheus_text(build_fixed_registry())
+            == to_prometheus_text(build_fixed_registry()))
+    assert (to_json_text(build_fixed_registry())
+            == to_json_text(build_fixed_registry()))
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    text = to_prometheus_text(build_fixed_registry())
+    counts = []
+    for line in text.splitlines():
+        if line.startswith("core_nvcache_write_latency_s_bucket"):
+            counts.append(int(line.rsplit(" ", 1)[1]))
+    assert counts == sorted(counts)
+    assert counts[-1] == 5  # +Inf bucket equals total count
+    assert 'le="+Inf"' in text
+
+
+def test_prometheus_units_suffixed_and_dots_flattened():
+    text = to_prometheus_text(build_fixed_registry())
+    assert "block_ssd0_reads_ops 42" in text
+    assert "block_ssd0_bytes_read_bytes 172032" in text
+    assert "core_log_occupancy_ratio 0.625" in text
+    assert "." not in [line.split(" ")[0] for line in text.splitlines()
+                       if line and not line.startswith("#")][0]
+
+
+def test_json_round_trip_preserves_values():
+    registry = build_fixed_registry()
+    parsed = json.loads(to_json_text(registry))
+    assert parsed == json.loads(json.dumps(to_json(registry)))
+    by_name = {m["name"]: m for m in parsed["metrics"]}
+    assert by_name["block.ssd0.reads"]["value"] == 42
+    hist = by_name["core.nvcache.write_latency"]
+    assert hist["count"] == 5
+    assert hist["sum"] == pytest.approx(1.18e-4)
+    assert sum(b["count"] for b in hist["buckets"]) + hist["overflow"] == 5
+
+
+def test_empty_registry_exports():
+    registry = MetricsRegistry()
+    assert to_prometheus_text(registry) == "\n"
+    assert to_json(registry) == {"metrics": []}

@@ -1,0 +1,157 @@
+"""Counter/Gauge semantics and histogram bucket/quantile math."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, sanitize
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("a.b.c")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value() == 6
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("a.b.c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_fn_backed_reads_through(self):
+        state = {"n": 3}
+        counter = Counter("a.b.c", fn=lambda: state["n"])
+        assert counter.value() == 3
+        state["n"] = 8
+        assert counter.value() == 8
+
+    def test_fn_backed_rejects_inc(self):
+        counter = Counter("a.b.c", fn=lambda: 0)
+        with pytest.raises(ValueError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge("a.b.c")
+        gauge.set(4.5)
+        assert gauge.value() == 4.5
+        gauge.set(1.0)  # may go down
+        assert gauge.value() == 1.0
+
+    def test_fn_backed_rejects_set(self):
+        gauge = Gauge("a.b.c", fn=lambda: 1.0)
+        with pytest.raises(ValueError):
+            gauge.set(2.0)
+
+
+class TestHistogramBuckets:
+    def test_geometric_bounds(self):
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        assert hist.bounds == [1.0, 2.0, 4.0, 8.0]
+        assert len(hist.counts) == 5  # + overflow
+
+    def test_observation_lands_in_covering_bucket(self):
+        # Bucket i covers (bounds[i-1], bounds[i]]: 3.0 -> bucket of 4.0.
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        hist.observe(3.0)
+        assert hist.counts == [0, 0, 1, 0, 0]
+
+    def test_bound_value_is_inclusive(self):
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        hist.observe(2.0)
+        assert hist.counts[1] == 1
+
+    def test_overflow_bucket(self):
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        hist.observe(100.0)
+        assert hist.counts[-1] == 1
+
+    def test_aggregates(self):
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        for value in (0.5, 2.0, 7.5):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(10.0)
+        assert hist.mean == pytest.approx(10.0 / 3)
+        assert hist.min == 0.5
+        assert hist.max == 7.5
+
+    def test_rejects_negative_observation(self):
+        hist = Histogram("a.b.c")
+        with pytest.raises(ValueError):
+            hist.observe(-1e-9)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", start=0.0)
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", factor=1.0)
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", buckets=0)
+
+    def test_default_span_covers_simulated_latencies(self):
+        # 100 ns start, x2, 40 buckets: top bound must exceed any
+        # latency the simulation can produce (hours of simulated time).
+        hist = Histogram("a.b.c")
+        assert hist.bounds[0] == pytest.approx(1e-7)
+        assert hist.bounds[-1] > 3600
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram(self):
+        hist = Histogram("a.b.c")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_reports_the_sample(self):
+        # Clamping to observed min/max: one sample must come back
+        # exactly, not as a bucket edge.
+        hist = Histogram("a.b.c")
+        hist.observe(3.3e-5)
+        for q in (0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(3.3e-5)
+
+    def test_uniform_samples_median(self):
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=10)
+        for i in range(1, 101):
+            hist.observe(float(i))
+        # Exact median of 1..100 is 50.5; bucket interpolation is
+        # coarse (log buckets), so allow the crossing bucket's width.
+        assert 32.0 <= hist.quantile(0.5) <= 64.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantiles_are_monotonic(self):
+        hist = Histogram("a.b.c")
+        for i in range(200):
+            hist.observe(1e-6 * (1.07 ** i))
+        quantiles = [hist.quantile(q / 100) for q in range(1, 101)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] == hist.max
+
+    def test_quantile_validates_range(self):
+        hist = Histogram("a.b.c")
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_interpolation_inside_crossing_bucket(self):
+        # 4 samples in bucket (1, 2]: p50 crosses at rank 2 of 4 ->
+        # lower + (upper-lower) * 2/4 = 1.5, within observed bounds.
+        hist = Histogram("a.b.c", start=1.0, factor=2.0, buckets=4)
+        for value in (1.2, 1.4, 1.6, 1.8):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+
+    def test_value_is_count(self):
+        hist = Histogram("a.b.c")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        assert hist.value() == 2
+
+
+def test_sanitize():
+    assert sanitize("dm-writecache") == "dm_writecache"
+    assert sanitize("PMem0") == "pmem0"
+    assert sanitize("a b.c") == "a_b_c"

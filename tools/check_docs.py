@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Docs drift check: every registered metric must be documented.
+
+Builds the instrumented stacks that together register every metric the
+tree defines (``nvcache+ssd`` covers nvmm/block.ssd0/kernel/fs/core,
+``dm-writecache+ssd`` adds the dm-writecache gauges, a bare
+:class:`~repro.block.HddDevice` adds ``block.hdd0.*``), unions their
+registry names, and fails if any exact name is missing from
+``docs/OBSERVABILITY.md``. The reverse direction is checked too: a
+documented name that no stack registers is stale and also fails.
+
+Run by the ``docs_check`` smoke tests (``smoke/``, outside tier-1) and
+usable standalone::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_PATH = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.block import HddDevice  # noqa: E402
+from repro.harness.systems import Scale, build_stack  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+
+#: Matches backticked metric names: a known layer prefix followed by at
+#: least two more segments. Anchoring on the layer set keeps module
+#: paths (`repro.fs.ext4`) out of the documented-name set.
+DOC_NAME_PATTERN = re.compile(
+    r"`((?:nvmm|block|kernel|fs|core)\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+
+
+def registered_names() -> set:
+    """Union of metric names across every instrumented component."""
+    names = set()
+    for system in ("nvcache+ssd", "dm-writecache+ssd"):
+        stack = build_stack(system, Scale(4096), metrics=True)
+        names.update(stack.metrics.names())
+    env = Environment()
+    env.metrics = MetricsRegistry()
+    HddDevice(env)
+    names.update(env.metrics.names())
+    return names
+
+
+def documented_names(doc_text: str) -> set:
+    return set(DOC_NAME_PATTERN.findall(doc_text))
+
+
+def main() -> int:
+    if not os.path.exists(DOC_PATH):
+        print(f"FAIL: {DOC_PATH} does not exist", file=sys.stderr)
+        return 1
+    with open(DOC_PATH) as handle:
+        doc_text = handle.read()
+    registered = registered_names()
+    documented = documented_names(doc_text)
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if undocumented:
+        print("FAIL: registered metrics missing from docs/OBSERVABILITY.md:",
+              file=sys.stderr)
+        for name in undocumented:
+            print(f"  {name}", file=sys.stderr)
+    if stale:
+        print("FAIL: documented metrics no component registers (stale?):",
+              file=sys.stderr)
+        for name in stale:
+            print(f"  {name}", file=sys.stderr)
+    if undocumented or stale:
+        return 1
+    print(f"OK: {len(registered)} registered metrics, all documented, "
+          "none stale")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Plain-text metrics dashboard for an instrumented stack.
+
+Builds one of the evaluated stacks with observability on
+(``build_stack(..., metrics=True)``), runs a short fio-like workload
+against it, and prints:
+
+- per-layer metric tables (nvmm / block / kernel / fs / core),
+- the headline NVCache numbers the paper's figures revolve around —
+  read-cache hit ratio, log occupancy, p99 write latency,
+- sparkline time-series of log occupancy and cleanup drain rate,
+  sampled on the simulated clock.
+
+The full metric reference is docs/OBSERVABILITY.md.
+
+Usage::
+
+    PYTHONPATH=src python tools/metrics_report.py
+    PYTHONPATH=src python tools/metrics_report.py --system dm-writecache+ssd
+    PYTHONPATH=src python tools/metrics_report.py --rw randrw --size-mib 8
+    PYTHONPATH=src python tools/metrics_report.py --export prom   # Prometheus text
+    PYTHONPATH=src python tools/metrics_report.py --export json   # JSON snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.reporting import (  # noqa: E402
+    format_metrics_by_layer, mib_per_s, sparkline)
+from repro.harness.systems import SYSTEM_NAMES, Scale, build_stack  # noqa: E402
+from repro.obs import Sampler, to_json_text, to_prometheus_text  # noqa: E402
+from repro.units import KIB, MIB, fmt_time  # noqa: E402
+from repro.workloads.fio import FioJob, run_fio  # noqa: E402
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="run a workload on an instrumented stack, print metrics")
+    parser.add_argument("--system", default="nvcache+ssd", choices=SYSTEM_NAMES)
+    parser.add_argument("--rw", default="randwrite",
+                        choices=["write", "randwrite", "read", "randread",
+                                 "randrw"])
+    parser.add_argument("--size-mib", type=float, default=4.0,
+                        help="bytes transferred by the job (MiB)")
+    parser.add_argument("--fsync", type=int, default=1,
+                        help="fsync every N writes (0 = never)")
+    parser.add_argument("--scale", type=int, default=4096,
+                        help="Scale.factor dividing the paper's sizes")
+    parser.add_argument("--samples", type=int, default=60,
+                        help="target number of time-series samples")
+    parser.add_argument("--export", choices=["prom", "json"],
+                        help="dump the final registry in this format "
+                             "instead of the tables")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    stack = build_stack(args.system, Scale(args.scale), metrics=True)
+    registry = stack.metrics
+
+    job = FioJob(rw=args.rw, block_size=4 * KIB,
+                 size=int(args.size_mib * MIB), fsync=args.fsync)
+    # Aim for ~args.samples points: estimate per-op time from a tiny
+    # probe run is overkill — sample finely and let sparkline downsample.
+    sampler = Sampler(stack.env, registry, period=5e-5).start()
+    result = run_fio(stack.env, stack.libc, job, "/bench.dat",
+                     settle=stack.settle)
+    sampler.stop()
+
+    if args.export == "prom":
+        sys.stdout.write(to_prometheus_text(registry))
+        return 0
+    if args.export == "json":
+        print(to_json_text(registry))
+        return 0
+
+    print(f"system: {args.system}  job: {job.rw} {job.block_size}B "
+          f"x {result.write_count + result.read_count} ops "
+          f"fsync={job.fsync}")
+    print(f"elapsed (simulated): {fmt_time(result.elapsed)}  "
+          f"write bw: {mib_per_s(result.write_bandwidth)}")
+    print()
+
+    # Headline numbers (paper Figs 4-6): hit ratio, occupancy, p99.
+    headlines = []
+    if registry.get("core.nvcache.hit_ratio") is not None:
+        headlines.append(("read-cache hit ratio",
+                          f"{registry.get('core.nvcache.hit_ratio').value():.3f}"))
+        occupancy = registry.get("core.log.occupancy").value()
+        headlines.append(("log occupancy (final)", f"{occupancy:.3f}"))
+        p99 = registry.get("core.nvcache.write_latency").quantile(0.99)
+        headlines.append(("p99 write latency", fmt_time(p99)))
+    else:
+        for name in registry.names():
+            if name.endswith(".write_latency"):
+                p99 = registry.get(name).quantile(0.99)
+                headlines.append((f"p99 {name}", fmt_time(p99)))
+    if headlines:
+        width = max(len(label) for label, _ in headlines)
+        print("headline:")
+        for label, value in headlines:
+            print(f"  {label.ljust(width)}  {value}")
+        print()
+
+    # Time series over the run (simulated clock).
+    series_of_interest = [
+        ("log occupancy", "core.log.occupancy", False),
+        ("drain rate (entries/s)", "core.cleanup.entries_retired", True),
+        ("dirty pages", "kernel.page_cache.dirty_pages", False),
+    ]
+    shown = []
+    for label, name, as_rate in series_of_interest:
+        if registry.get(name) is None:
+            continue
+        if as_rate:
+            _times, values = sampler.rate_series(name)
+        else:
+            _times, values = sampler.series(name)
+        if values:
+            shown.append((label, sparkline(values, width=48),
+                          f"max={max(values):.3g}"))
+    if shown:
+        width = max(len(label) for label, _, _ in shown)
+        print("over time:")
+        for label, spark, peak in shown:
+            print(f"  {label.ljust(width)}  {spark}  {peak}")
+        print()
+
+    print(format_metrics_by_layer(registry))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
