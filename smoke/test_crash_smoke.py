@@ -1,0 +1,56 @@
+"""Crash-exploration smoke runs (``crash_smoke`` marker, outside tier-1).
+
+A budgeted in-process sweep plus the documented CLI commands from
+docs/CRASH_TESTING.md, run as real subprocesses — the full exhaustive
+sweeps live in ``tests/faults/``; this is the quick standing gate.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.crash_smoke
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_script(*argv, timeout=300):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return subprocess.run([sys.executable, *argv], cwd=REPO_ROOT, env=env,
+                          capture_output=True, text=True, timeout=timeout)
+
+
+def test_budgeted_sweep_holds_the_contract():
+    from repro.faults import CrashExplorer
+    from repro.faults.workloads import fio_write_workload
+
+    explorer = CrashExplorer(fio_write_workload(), budget=15,
+                             drop_subsets=1, seed=0)
+    result = explorer.explore()
+    assert len(result.points) >= 100
+    assert result.violations == []
+
+
+def test_cli_check_exits_zero_on_a_clean_workload():
+    result = run_script("tools/crash_explore.py", "--workload", "fio",
+                        "--budget", "10", "--check")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "violations:              0" in result.stdout
+
+
+def test_cli_list_points_enumerates():
+    result = run_script("tools/crash_explore.py", "--workload", "fio",
+                        "--list-points")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "crash points" in result.stdout
+    assert "core.log.committed" in result.stdout
+
+
+def test_cli_rejects_unknown_workload():
+    result = run_script("tools/crash_explore.py", "--workload", "nope")
+    assert result.returncode == 2

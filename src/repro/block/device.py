@@ -66,6 +66,9 @@ class BlockDevice:
         self.stats = BlockStats()
         self._durable: Dict[int, bytes] = {}
         self._cache: Dict[int, bytes] = {}  # volatile device write cache
+        # Optional repro.faults.BlockFaultInjector (armed via
+        # injector.arm(device)); None on the hot path.
+        self.fault_injector = None
         self._lock = Lock(env, name=f"{name}.queue")
         self._last_write_end: Optional[int] = None
         self._last_read_end: Optional[int] = None
@@ -198,7 +201,15 @@ class BlockDevice:
                 self.env.tracer.add(self.env.now - delay, delay, self.name,
                                     "write", self.name, offset=offset,
                                     nbytes=len(data))
+            if self.fault_injector is not None:
+                # May raise KernelError(EIO); a torn write lands a prefix
+                # of the data in the cache before raising.
+                self.fault_injector.on_write(self, offset, data)
             self._write_raw(offset, data)
+            recorder = self.env.crash_points
+            if recorder is not None:
+                recorder.hit("block.write_completed",
+                             f"{self.name}+{offset}:{len(data)}")
         finally:
             self._lock.release()
 
@@ -215,8 +226,16 @@ class BlockDevice:
                 self.env.tracer.add(self.env.now - self.timing.flush_latency,
                                     self.timing.flush_latency, self.name,
                                     "flush", self.name)
+            if self.fault_injector is not None \
+                    and self.fault_injector.on_flush(self):
+                # Dropped barrier: the device acknowledges the flush but
+                # keeps the cache volatile (a lying drive).
+                return
             self._durable.update(self._cache)
             self._cache.clear()
+            recorder = self.env.crash_points
+            if recorder is not None:
+                recorder.hit("block.flush_completed", self.name)
         finally:
             self._lock.release()
 

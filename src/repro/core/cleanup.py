@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Tuple
 
+from ..kernel.errno import KernelError
 from ..sim import Environment, Waitable
 from .config import NvcacheConfig
 from .files import FileTables
@@ -63,6 +64,12 @@ class CleanupThread:
         self._drain_waiters: List[Tuple[int, Waitable]] = []
         self._close_waiters: List[Tuple[int, Waitable]] = []
         self._last_progress = 0.0
+        # Entries whose pwrite + index bookkeeping succeeded in a batch
+        # that later aborted on an I/O error (before clear_entries). The
+        # retry must fsync them again but must not re-run the
+        # bookkeeping: the per-descriptor pending queues were already
+        # popped. Cleared when the batch finally retires.
+        self._propagated: set = set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -172,57 +179,87 @@ class CleanupThread:
             return 0
         touched_fds = set()
         page_size = self.config.page_size
-        for seq in batch:
-            _cg, fd, offset, data = yield from self.log.timed_read_entry(seq)
-            if fd < 0:
-                # Namespace op (unlink/truncate/rename): already executed
-                # live; logged only so recovery replays it in order.
-                continue
-            nv_file = self.tables.fd_files.get(fd)
-            first_page = offset // page_size
-            last_page = (offset + max(len(data), 1) - 1) // page_size
-            descriptors = []
-            if nv_file is not None and nv_file.radix is not None:
-                for page in range(first_page, last_page + 1):
-                    descriptor = nv_file.descriptor(page)
-                    if descriptor is not None:
-                        descriptors.append(descriptor)
-            for descriptor in descriptors:
-                yield descriptor.cleanup_lock.acquire()
-            try:
-                yield from self.kernel.pwrite(fd, data, offset)
+        completed = []
+        try:
+            for seq in batch:
+                if seq in self._propagated:
+                    # Retry after an aborted batch: the pwrite and index
+                    # bookkeeping already happened; only the fsync below
+                    # still needs to cover this entry.
+                    fd = self.log.read_header(seq)[1]
+                    if fd >= 0:
+                        touched_fds.add(fd)
+                    continue
+                _cg, fd, offset, data = yield from self.log.timed_read_entry(seq)
+                if fd < 0:
+                    # Namespace op (unlink/truncate/rename): already executed
+                    # live; logged only so recovery replays it in order.
+                    continue
+                nv_file = self.tables.fd_files.get(fd)
+                first_page = offset // page_size
+                last_page = (offset + max(len(data), 1) - 1) // page_size
+                descriptors = []
+                if nv_file is not None and nv_file.radix is not None:
+                    for page in range(first_page, last_page + 1):
+                        descriptor = nv_file.descriptor(page)
+                        if descriptor is not None:
+                            descriptors.append(descriptor)
                 for descriptor in descriptors:
-                    descriptor.dirty_counter -= 1
-                    if descriptor.pending and descriptor.pending[0] == seq:
-                        descriptor.pending.popleft()
-                    else:  # defensive: out-of-order retirement is a bug
-                        descriptor.pending.remove(seq)
-            finally:
-                for descriptor in descriptors:
-                    descriptor.cleanup_lock.release()
-            if nv_file is not None:
-                nv_file.pending_entries -= 1
-            remaining = self.tables.pending_by_fd.get(fd, 0) - 1
-            self.tables.pending_by_fd[fd] = max(0, remaining)
-            touched_fds.add(fd)
-        # One durability barrier per filesystem, not per file: jbd2 groups
-        # the commits of files synced back-to-back into one transaction,
-        # so a batch touching many short-lived files (SQLite journals)
-        # still pays a single device flush.
-        synced_filesystems = set()
-        for fd in sorted(touched_fds):
-            open_file = self.kernel.fds.lookup(fd)
-            if open_file is None:
-                continue
-            if id(open_file.filesystem) in synced_filesystems:
-                continue
-            yield from self.kernel.syncfs(fd)
-            synced_filesystems.add(id(open_file.filesystem))
-            self.stats.cleanup_fsyncs += 1
+                    yield descriptor.cleanup_lock.acquire()
+                try:
+                    yield from self.kernel.pwrite(fd, data, offset)
+                    for descriptor in descriptors:
+                        descriptor.dirty_counter -= 1
+                        if descriptor.pending and descriptor.pending[0] == seq:
+                            descriptor.pending.popleft()
+                        else:  # defensive: out-of-order retirement is a bug
+                            descriptor.pending.remove(seq)
+                finally:
+                    for descriptor in descriptors:
+                        descriptor.cleanup_lock.release()
+                if nv_file is not None:
+                    nv_file.pending_entries -= 1
+                remaining = self.tables.pending_by_fd.get(fd, 0) - 1
+                self.tables.pending_by_fd[fd] = max(0, remaining)
+                touched_fds.add(fd)
+                completed.append(seq)
+            # One durability barrier per filesystem, not per file: jbd2 groups
+            # the commits of files synced back-to-back into one transaction,
+            # so a batch touching many short-lived files (SQLite journals)
+            # still pays a single device flush.
+            synced_filesystems = set()
+            for fd in sorted(touched_fds):
+                open_file = self.kernel.fds.lookup(fd)
+                if open_file is None:
+                    continue
+                if id(open_file.filesystem) in synced_filesystems:
+                    continue
+                yield from self.kernel.syncfs(fd)
+                synced_filesystems.add(id(open_file.filesystem))
+                self.stats.cleanup_fsyncs += 1
+        except KernelError:
+            # Device-level I/O error (e.g. an injected write failure):
+            # abort the batch WITHOUT clearing entries or advancing any
+            # tail — the log still holds everything that is not durably
+            # on disk, so a crash now loses nothing and the next pass
+            # retries. Entries whose bookkeeping already ran are
+            # remembered so the retry does not double-pop them.
+            self._propagated.update(completed)
+            self.stats.cleanup_batch_aborts += 1
+            if self.env.tracer is not None:
+                self.env.tracer.add(self.env.now, 0.0, "nvcache",
+                                    "batch-abort", "cleanup",
+                                    entries=len(batch))
+            return 0
         yield from self.log.clear_entries(batch)
         self.log.advance_volatile_tail(batch[-1] + 1)
+        self._propagated.difference_update(batch)
         self.stats.cleanup_batches += 1
         self.stats.cleanup_entries += len(batch)
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("core.cleanup.batch_retired",
+                         f"{len(batch)} entries, tail {batch[-1] + 1}")
         if self._m_batch_size is not None:
             self._m_batch_size.observe(len(batch))
         if self.env.tracer is not None:

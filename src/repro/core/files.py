@@ -77,6 +77,12 @@ class FileTables:
         if nv_file is None:
             nv_file = NvFile(key=key, path=path, size=size, env=env)
             self.files[key] = nv_file
+        else:
+            # The inode may have been renamed since it was last open;
+            # namespace ops logged through this file (ftruncate) must
+            # carry its *current* name, or recovery would replay them
+            # against a dead path once the rename entry retires.
+            nv_file.path = path
         return nv_file
 
     def register(self, fd: int, nv_file: NvFile, flags: int, cursor: int = 0) -> NvOpenFile:

@@ -56,6 +56,13 @@ FOLLOWER_BASE = 2
 OP_UNLINK = -2
 OP_TRUNCATE = -3   # offset = new size
 OP_RENAME = -4     # payload = old + b"\0" + new
+OP_CREATE = -5     # file created by open(O_CREAT); payload = path.
+#                    Creations must be logged too: recovery replays the
+#                    namespace history strictly in log order, and an
+#                    unlogged recreation after an unlink still in the
+#                    log would be undone by the unlink's replay (the
+#                    crash explorer caught this on the MiniRocks WAL
+#                    rotation pattern — see docs/CRASH_TESTING.md).
 
 
 def _align(value: int, alignment: int = CACHE_LINE_SIZE) -> int:
@@ -173,6 +180,9 @@ class NvmmLog:
         self.nvmm.store(addr, header)
         self.nvmm.store(addr + HEADER_SIZE, data)
         self.nvmm.pwb_range(addr, HEADER_SIZE + len(data))
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("core.log.entry_filled", f"seq {seq} fd {fd}")
         # Bandwidth cost of moving payload+header towards NVMM.
         yield self.env.timeout(self.nvmm.timing.store_cost(HEADER_SIZE + len(data)))
 
@@ -184,7 +194,18 @@ class NvmmLog:
         current = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))
         self.nvmm.store(addr, _HEADER.pack(COMMIT_LEADER, *current[1:]))
         self.nvmm.pwb(addr)
+        recorder = self.env.crash_points
+        if recorder is not None:
+            # The commit-flag flip: stored + enqueued, not yet fenced. A
+            # crash here may or may not surface the commit word — both
+            # outcomes must recover to a legal state.
+            recorder.hit("core.log.commit_word", f"seq {seq}")
         yield from self.nvmm.psync()
+        recorder = self.env.crash_points
+        if recorder is not None:
+            # Post-psync: the write is acknowledged as durable from here
+            # on — durable-after-ack starts binding at this boundary.
+            recorder.hit("core.log.committed", f"seq {seq}")
 
     # -- reader side (cleanup thread, dirty miss, recovery) ---------------------
 
@@ -210,6 +231,26 @@ class NvmmLog:
         data = yield from self.nvmm.timed_load(addr, length)
         return data
 
+    def pending_removal(self, path: str) -> bool:
+        """True while the ring still holds a namespace entry that removes
+        ``path`` — an unlink, or a rename away from it. A file recreated
+        under such a path must log its creation (OP_CREATE) so recovery
+        replays the full namespace history in order; without the pending
+        removal, replay's lazy ``O_CREAT`` recreation is enough."""
+        encoded = path.encode("utf-8")
+        for seq in range(min(self.persistent_tail(), self.volatile_tail),
+                         self.head):
+            commit_group, fd, _offset, size = self.read_header(seq)
+            if commit_group == COMMIT_FREE or fd not in (OP_UNLINK, OP_RENAME):
+                continue
+            data = self.read_data(seq, size)
+            if fd == OP_UNLINK:
+                if data == encoded:
+                    return True
+            elif data.split(b"\x00", 1)[0] == encoded:
+                return True
+        return False
+
     def is_committed(self, seq: int) -> bool:
         """True when this entry's write is durably committed: a committed
         leader, or a follower whose leader slot is committed."""
@@ -226,18 +267,34 @@ class NvmmLog:
     # -- cleanup: the three-step free protocol (paper §III) ---------------------------
 
     def clear_entries(self, seqs) -> Generator:
-        """Step 2: durably clear commit words and advance the persistent
-        tail, then pfence so step 3 (volatile reuse) is safe."""
+        """Step 2: durably clear commit words front-to-back and advance
+        the persistent tail, then pfence so step 3 (reuse) is safe.
+
+        The clears are fenced one entry at a time, in log order: the
+        words a crash leaves still-committed are then always a *suffix*
+        of the batch, and replaying a suffix of fully-propagated entries
+        (plus everything after them) in order is sound. Fencing the whole
+        batch at once would let an arbitrary subset of the clears reach
+        the media — e.g. a stale truncate surviving while the writes that
+        followed it were cleared — which replay cannot order around. The
+        tail goes last so it never passes a still-committed word (the
+        scan maps slots to sequence numbers modulo the ring, so a stale
+        committed word beyond the tail would be misread as a future
+        entry)."""
         new_tail = self.volatile_tail
         for seq in seqs:
             addr = self._slot_addr(seq)
             rest = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))[1:]
             self.nvmm.store(addr, _HEADER.pack(COMMIT_FREE, *rest))
             self.nvmm.pwb(addr)
+            self.nvmm.pfence()
             new_tail = max(new_tail, seq + 1)
         self.nvmm.store(self.tail_base, struct.pack("<Q", new_tail))
         self.nvmm.pwb(self.tail_base)
         self.nvmm.pfence()
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("core.log.cleared", f"tail {new_tail}")
         yield self.env.timeout(0.2 * US)
 
     def advance_volatile_tail(self, new_tail: int) -> None:

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from ..kernel.errno import EBADF, EINVAL, KernelError
+from ..kernel.errno import EBADF, EINVAL, ENOENT, KernelError
 from ..kernel.fd_table import (
     O_ACCMODE,
     O_APPEND,
+    O_CREAT,
     O_DIRECT,
     O_RDONLY,
     O_TRUNC,
@@ -134,6 +135,10 @@ class Nvcache:
         m.counter("fsyncs", unit="ops",
                   help="syncfs barriers issued by the cleanup thread",
                   fn=lambda: stats.cleanup_fsyncs)
+        m.counter("batch_aborts", unit="ops",
+                  help="batches aborted on device I/O errors and retried "
+                       "without advancing the persistent tail",
+                  fn=lambda: stats.cleanup_batch_aborts)
         m.gauge("deferred_closes", unit="fds",
                 help="fds whose kernel close awaits entry retirement",
                 fn=lambda: len(self.tables.deferred_close))
@@ -166,7 +171,26 @@ class Nvcache:
         # NVCache strips it (the paper's FIO runs use direct=1 for every
         # system yet still report combining gains for NVCACHE).
         flags &= ~O_DIRECT
+        creating = False
+        if flags & O_CREAT:
+            try:
+                yield from self.kernel.stat(path)
+            except KernelError as exc:
+                if exc.errno != ENOENT:
+                    raise
+                creating = True
         fd = yield from self.kernel.open(path, flags, mode)
+        if creating and self.log.pending_removal(path):
+            # The log still holds an unlink of (or a rename away from)
+            # this path. Recovery replays the namespace history strictly
+            # in log order, so the recreation must appear after that
+            # entry — otherwise its replay would remove the new file.
+            # A creation with no pending removal needs no entry: replay
+            # recreates such files lazily (O_CREAT) when applying their
+            # writes.
+            from .log import OP_CREATE
+            yield from self._log_namespace_op(
+                OP_CREATE, 0, path.encode("utf-8"))
         st = yield from self.kernel.fstat(fd)
         key = (st.st_dev, st.st_ino)
         nv_file = self.tables.file_for(key, path, st.st_size, self.env)

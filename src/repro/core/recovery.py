@@ -28,7 +28,7 @@ from ..kernel.fd_table import O_CREAT, O_RDWR
 from ..nvmm import NvmmDevice
 from ..sim import Environment
 from .config import NvcacheConfig
-from .log import NvmmLog, OP_RENAME, OP_TRUNCATE, OP_UNLINK
+from .log import NvmmLog, OP_CREATE, OP_RENAME, OP_TRUNCATE, OP_UNLINK
 
 
 @dataclass
@@ -40,6 +40,7 @@ class RecoveryReport:
     entries_applied: int = 0
     entries_skipped_uncommitted: int = 0
     namespace_ops_replayed: int = 0
+    creates_replayed: int = 0
     bytes_replayed: int = 0
     applied_by_path: Dict[str, int] = field(default_factory=dict)
 
@@ -57,10 +58,10 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
     open_fds: Dict[int, int] = {}         # logged fd -> live fd
     fds_by_path: Dict[str, list] = {}     # for unlink-induced closes
 
-    def fd_for(logged_fd: int) -> Generator:
+    def fd_for(logged_fd: int, seq: int) -> Generator:
         live = open_fds.get(logged_fd)
         if live is None:
-            path = paths[logged_fd]
+            path = resolve(paths[logged_fd], seq)
             live = yield from kernel.open(path, O_RDWR | O_CREAT)
             open_fds[logged_fd] = live
             fds_by_path.setdefault(path, []).append(logged_fd)
@@ -79,6 +80,58 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
         # fd_for will then lazily reopen.
 
     tail = log.persistent_tail()
+
+    # Namespace ops are applied to the kernel *write-through* (the app
+    # must see them immediately) but retire from the log only when the
+    # cleanup thread reaches them — so at crash time the disk namespace
+    # already reflects renames whose entries are still in the ring.
+    # Replaying an earlier entry against its recorded path would then
+    # recreate a ghost file under the renamed-away name, and the later
+    # rename's replay would move that ghost over the real target.
+    # Pre-scan the committed renames, decide which were already applied
+    # (their source is absent — sound because the workload applies ops
+    # sequentially and rename targets are fresh names), and resolve
+    # every earlier entry's path through them.
+    # NVCache logs a namespace op and then applies it to the kernel
+    # before returning, and the application issues ops sequentially — so
+    # of the committed namespace entries in the ring, every one except
+    # possibly the *newest* was already applied (the newest may be caught
+    # between its commit and its kernel call).
+    ns_seqs = []      # committed namespace entries, in log order
+    renames = {}      # seq -> (old, new)
+    for seq in range(tail, tail + log.entries):
+        commit_group, logged_fd = log.read_header(seq)[:2]
+        if commit_group == 0 or not log.is_committed(seq):
+            continue
+        if logged_fd in (OP_CREATE, OP_UNLINK, OP_TRUNCATE, OP_RENAME):
+            ns_seqs.append(seq)
+            if logged_fd == OP_RENAME:
+                renames[seq] = tuple(
+                    log.read_data(seq).decode("utf-8").split("\x00", 1))
+    applied_renames = [(seq, *renames[seq]) for seq in ns_seqs[:-1]
+                       if seq in renames]
+    if ns_seqs and ns_seqs[-1] in renames:
+        # The newest op is a rename: it was applied iff its source is
+        # gone (nothing later in the log could have touched the source,
+        # so plain existence is decisive here).
+        old, new = renames[ns_seqs[-1]]
+        try:
+            yield from kernel.stat(old)
+        except OSError as exc:
+            if exc.errno != ENOENT:
+                raise
+            applied_renames.append((ns_seqs[-1], old, new))
+
+    applied_rename_seqs = {seq for seq, _old, _new in applied_renames}
+
+    def resolve(path: str, seq: int) -> str:
+        """Current name of the file ``path`` referred to at entry
+        ``seq``: follow every already-applied rename logged after it."""
+        for rename_seq, old, new in applied_renames:
+            if rename_seq > seq and path == old:
+                path = new
+        return path
+
     live_entries = []
     for seq in range(tail, tail + log.entries):
         commit_group = log.read_header(seq)[0]
@@ -90,6 +143,13 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             continue
         _cg, logged_fd, offset, data = yield from log.timed_read_entry(seq)
         live_entries.append(seq)
+        if logged_fd == OP_CREATE:
+            # Recreate the (empty) file; a no-op if it already exists.
+            path = resolve(data.decode("utf-8"), seq)
+            fd = yield from kernel.open(path, O_RDWR | O_CREAT)
+            yield from kernel.close(fd)
+            report.creates_replayed += 1
+            continue
         if logged_fd == OP_UNLINK:
             path = data.decode("utf-8")
             yield from close_path(path)
@@ -101,7 +161,7 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             report.namespace_ops_replayed += 1
             continue
         if logged_fd == OP_TRUNCATE:
-            path = data.decode("utf-8")
+            path = resolve(data.decode("utf-8"), seq)
             fd = yield from kernel.open(path, O_RDWR | O_CREAT)
             yield from kernel.ftruncate(fd, offset)
             yield from kernel.close(fd)
@@ -109,6 +169,13 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             continue
         if logged_fd == OP_RENAME:
             old, new = data.decode("utf-8").split("\x00", 1)
+            if seq in applied_rename_seqs:
+                # Already applied before the crash — and the source path
+                # may since have been legitimately recreated (a logged
+                # creation later in the ring), so re-running the rename
+                # would move the *new* file onto the target.
+                report.namespace_ops_replayed += 1
+                continue
             yield from close_path(old)
             try:
                 yield from kernel.rename(old, new)
@@ -122,11 +189,11 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             # this entry's data already reached the disk.
             report.entries_skipped_uncommitted += 1
             continue
-        live = yield from fd_for(logged_fd)
+        live = yield from fd_for(logged_fd, seq)
         yield from kernel.pwrite(live, data, offset)
         report.entries_applied += 1
         report.bytes_replayed += len(data)
-        path = paths[logged_fd]
+        path = resolve(paths[logged_fd], seq)
         report.applied_by_path[path] = report.applied_by_path.get(path, 0) + 1
 
     yield from kernel.sync()

@@ -27,6 +27,7 @@ class NvcacheStats:
     cleanup_batches: int = 0
     cleanup_entries: int = 0
     cleanup_fsyncs: int = 0
+    cleanup_batch_aborts: int = 0  # batches rolled back on device I/O errors
     fsyncs_ignored: int = 0
     read_only_bypass: int = 0
 

@@ -1,0 +1,63 @@
+"""Crash-point enumeration and fault injection (the durability test rig).
+
+Three cooperating pieces (docs/CRASH_TESTING.md):
+
+- the **crash-point registry** — instrumented persistence boundaries
+  throughout the stack report to a :class:`CrashPointRecorder` attached
+  to the simulation environment (``env.crash_points``); with none
+  attached the hooks are semantically invisible;
+- the **crash explorer** — enumerates every boundary a workload passes
+  through, crashes at each one (with seeded cache-line drop subsets),
+  runs recovery, and checks the durability invariants against an
+  in-memory oracle;
+- the **block fault injector** — deterministic write errors, torn
+  writes, and dropped flushes on any block device.
+
+Nothing in the core simulation imports this package; it is pulled in
+only by tests and ``tools/crash_explore.py``.
+"""
+
+from .explorer import (CaseResult, CrashExplorer, END_OF_RUN_SITE,
+                       ExplorationError, ExplorationResult)
+from .injector import BlockFaultInjector
+from .invariants import (CrashCase, DEFAULT_INVARIANTS, DurableAfterAck,
+                         GroupCommitAtomicity, Invariant, NamespaceReplay,
+                         PrefixSemantics, RecoveryIdempotence, Violation,
+                         check_case)
+from .oracle import FileModelOracle, OracleOp, TrackedNvcacheLibc
+from .recorder import CrashPoint, CrashPointRecorder
+from .workloads import (SMALL_CONFIG, WORKLOADS, CrashRun, build_crash_run,
+                        db_bench_workload, fio_mixed_workload,
+                        fio_write_workload, kvstore_workload)
+
+__all__ = [
+    "BlockFaultInjector",
+    "CaseResult",
+    "CrashCase",
+    "CrashExplorer",
+    "CrashPoint",
+    "CrashPointRecorder",
+    "CrashRun",
+    "DEFAULT_INVARIANTS",
+    "DurableAfterAck",
+    "END_OF_RUN_SITE",
+    "ExplorationError",
+    "ExplorationResult",
+    "FileModelOracle",
+    "GroupCommitAtomicity",
+    "Invariant",
+    "NamespaceReplay",
+    "OracleOp",
+    "PrefixSemantics",
+    "RecoveryIdempotence",
+    "SMALL_CONFIG",
+    "TrackedNvcacheLibc",
+    "Violation",
+    "WORKLOADS",
+    "build_crash_run",
+    "check_case",
+    "db_bench_workload",
+    "fio_mixed_workload",
+    "fio_write_workload",
+    "kvstore_workload",
+]

@@ -1,0 +1,138 @@
+"""Block-layer fault injection: the drive misbehaves on purpose.
+
+A :class:`BlockFaultInjector` armed on a
+:class:`~repro.block.device.BlockDevice` perturbs its I/O path three
+ways, all deterministically (seeded RNG and/or explicit request indices):
+
+- **write errors** — the write request fails with ``KernelError(EIO)``
+  after its service time; nothing lands in the device cache.
+- **torn writes** — only a prefix of the payload lands (a power-cut or
+  firmware bug mid-transfer), then the request fails with ``EIO``.
+- **dropped flushes** — the barrier is acknowledged but the cache stays
+  volatile (a "lying drive"). Callers observe success, so acknowledged
+  durability is *expected* to be violated — crash-invariant workloads
+  must not arm this mode.
+
+Counts are exposed as ``faults.<device>.*`` metrics when the device's
+environment carries a metrics registry (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Set
+
+from ..kernel.errno import EIO, KernelError
+
+
+class BlockFaultInjector:
+    """Deterministic fault plan for one block device.
+
+    ``fail_writes`` / ``tear_writes`` / ``drop_flushes`` name explicit
+    0-based request indices (counted per armed device, writes and
+    flushes separately). The ``*_probability`` knobs add seeded random
+    faults on top; with the default seed the plan is reproducible
+    run-to-run. ``torn_keep`` controls how much of a torn write's
+    payload survives: a byte count, or ``None`` for a seeded random
+    prefix (at least 1 byte, strictly less than the payload).
+    """
+
+    def __init__(self, seed: int = 0,
+                 fail_writes: Iterable[int] = (),
+                 tear_writes: Iterable[int] = (),
+                 drop_flushes: Iterable[int] = (),
+                 fail_write_probability: float = 0.0,
+                 tear_write_probability: float = 0.0,
+                 drop_flush_probability: float = 0.0,
+                 torn_keep: Optional[int] = None):
+        self.rng = random.Random(seed)
+        self.fail_writes: Set[int] = set(fail_writes)
+        self.tear_writes: Set[int] = set(tear_writes)
+        self.drop_flushes: Set[int] = set(drop_flushes)
+        self.fail_write_probability = fail_write_probability
+        self.tear_write_probability = tear_write_probability
+        self.drop_flush_probability = drop_flush_probability
+        self.torn_keep = torn_keep
+        self.writes_seen = 0
+        self.flushes_seen = 0
+        self.writes_failed = 0
+        self.writes_torn = 0
+        self.flushes_dropped = 0
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self, device) -> "BlockFaultInjector":
+        """Attach to ``device`` and register ``faults.<name>.*`` metrics
+        if the device's environment has a registry."""
+        if device.fault_injector is not None:
+            raise RuntimeError(f"{device.name} already has a fault injector")
+        device.fault_injector = self
+        if device.env.metrics is not None:
+            self.register_metrics(device.env.metrics, device.name)
+        return self
+
+    def disarm(self, device) -> None:
+        if device.fault_injector is self:
+            device.fault_injector = None
+
+    def register_metrics(self, registry, device_name: str) -> None:
+        """Expose injected-fault counters under ``faults.<device>.*``
+        (see docs/OBSERVABILITY.md)."""
+        from ..obs import sanitize
+        m = registry.scope(f"faults.{sanitize(device_name)}")
+        m.counter("writes_failed", unit="ops",
+                  help="write requests failed with injected EIO",
+                  fn=lambda: self.writes_failed)
+        m.counter("writes_torn", unit="ops",
+                  help="write requests torn mid-payload then failed",
+                  fn=lambda: self.writes_torn)
+        m.counter("flushes_dropped", unit="ops",
+                  help="write barriers acknowledged but not honoured",
+                  fn=lambda: self.flushes_dropped)
+
+    # -- device callbacks ----------------------------------------------------
+
+    def _torn_length(self, payload: int) -> int:
+        if self.torn_keep is not None:
+            return max(0, min(self.torn_keep, payload - 1))
+        if payload <= 1:
+            return 0
+        return self.rng.randrange(1, payload)
+
+    def on_write(self, device, offset: int, data: bytes) -> None:
+        """Called by the device before the payload lands. Returns to let
+        the write proceed; raises ``KernelError(EIO)`` to fail it (after
+        optionally landing a torn prefix via ``device._write_raw``)."""
+        index = self.writes_seen
+        self.writes_seen += 1
+        tear = index in self.tear_writes or (
+            self.tear_write_probability
+            and self.rng.random() < self.tear_write_probability)
+        if tear:
+            keep = self._torn_length(len(data))
+            if keep:
+                device._write_raw(offset, data[:keep])
+            self.writes_torn += 1
+            raise KernelError(
+                EIO, f"injected torn write on {device.name} at request "
+                     f"{index}: {keep}/{len(data)} bytes landed")
+        fail = index in self.fail_writes or (
+            self.fail_write_probability
+            and self.rng.random() < self.fail_write_probability)
+        if fail:
+            self.writes_failed += 1
+            raise KernelError(
+                EIO, f"injected write error on {device.name} at request {index}")
+
+    def on_flush(self, device) -> bool:
+        """Called by the device at barrier time. ``True`` = drop the
+        barrier (acknowledge without persisting the cache)."""
+        index = self.flushes_seen
+        self.flushes_seen += 1
+        drop = index in self.drop_flushes or (
+            self.drop_flush_probability
+            and self.rng.random() < self.drop_flush_probability)
+        if drop:
+            self.flushes_dropped += 1
+            return True
+        return False

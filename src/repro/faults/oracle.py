@@ -1,0 +1,277 @@
+"""The in-memory oracle: what the files *should* contain after a crash.
+
+:class:`FileModelOracle` is a plain-Python model of the visible POSIX
+file state (path -> bytes). The tracked libc wrapper reports every
+mutating call to it in two phases — ``begin(op)`` when the call enters,
+``ack()`` when it returns to the application — so at any crash point the
+oracle knows exactly two legal recovered states:
+
+- **before**: every acknowledged operation applied, the in-flight one
+  dropped (it never happened);
+- **after**: the in-flight operation applied too (it made it to the log
+  before the power failed).
+
+Durable linearizability (DESIGN.md §3) says post-crash recovery must
+produce one of those two states, atomically — nothing in between, and
+never missing an acknowledged op. The invariant suite in
+:mod:`repro.faults.invariants` checks recovered state against both.
+
+Scope note: the model tracks path-visible contents only. Workloads that
+write through an fd *after* unlinking its path (orphaned-inode I/O)
+are outside the model — the crash workloads and the property generator
+do not produce that pattern (see docs/CRASH_TESTING.md, Limitations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Set, Tuple
+
+from ..kernel.fd_table import O_ACCMODE, O_APPEND, O_CREAT, O_RDONLY, O_TRUNC
+from ..libc import NvcacheLibc
+
+#: ops that change the namespace rather than file bytes
+_NAMESPACE_KINDS = frozenset({"open", "unlink", "rename", "ftruncate"})
+
+
+@dataclass
+class OracleOp:
+    """One application-visible mutating call."""
+
+    kind: str                  # open | pwrite | unlink | rename | ftruncate | close
+    path: str = ""
+    path2: str = ""            # rename destination
+    offset: int = 0
+    data: bytes = b""
+    size: int = 0              # ftruncate length
+    flags: int = 0             # open flags
+    entries: int = 1           # log entries this op needs (group writes > 1)
+
+    def describe(self) -> str:
+        if self.kind == "pwrite":
+            return (f"pwrite {self.path}+{self.offset}:{len(self.data)} "
+                    f"({self.entries} entries)")
+        if self.kind == "rename":
+            return f"rename {self.path} -> {self.path2}"
+        if self.kind == "ftruncate":
+            return f"ftruncate {self.path} to {self.size}"
+        return f"{self.kind} {self.path}"
+
+
+class FileModelOracle:
+    """Reference model of path-visible file contents."""
+
+    def __init__(self, entry_data_size: int):
+        self.entry_data_size = entry_data_size
+        self.files: Dict[str, bytearray] = {}
+        #: every path that ever existed — recovered state is read (and
+        #: absence asserted) over this whole set, so a resurrected
+        #: unlinked file cannot hide.
+        self.ever: Set[str] = set()
+        #: paths touched by namespace ops (unlink/rename/truncate/
+        #: O_TRUNC), for invariant classification.
+        self.ns_paths: Set[str] = set()
+        self.inflight: Optional[OracleOp] = None
+        self.acked_ops = 0
+
+    # -- the two-phase protocol -------------------------------------------
+
+    def begin(self, op: OracleOp) -> None:
+        if self.inflight is not None:
+            raise RuntimeError(
+                f"oracle op {self.inflight.describe()} still in flight")
+        self.inflight = op
+
+    def ack(self) -> None:
+        op = self.inflight
+        if op is None:
+            raise RuntimeError("ack() with no op in flight")
+        self.inflight = None
+        self._apply(self.files, op)
+        self._note(op)
+        self.acked_ops += 1
+
+    def abort(self) -> None:
+        """The call raised: it never happened."""
+        self.inflight = None
+
+    # -- model application -------------------------------------------------
+
+    def _note(self, op: OracleOp) -> None:
+        if op.path:
+            self.ever.add(op.path)
+        if op.path2:
+            self.ever.add(op.path2)
+        if op.kind in ("unlink", "rename", "ftruncate"):
+            self.ns_paths.add(op.path)
+            if op.path2:
+                self.ns_paths.add(op.path2)
+        elif op.kind == "open" and op.flags & O_TRUNC:
+            self.ns_paths.add(op.path)
+
+    @staticmethod
+    def _writable(flags: int) -> bool:
+        return (flags & O_ACCMODE) != O_RDONLY
+
+    def _apply(self, files: Dict[str, bytearray], op: OracleOp) -> None:
+        if op.kind == "open":
+            if op.flags & O_CREAT and op.path not in files:
+                files[op.path] = bytearray()
+            if op.flags & O_TRUNC and self._writable(op.flags) \
+                    and op.path in files:
+                files[op.path] = bytearray()
+        elif op.kind == "pwrite":
+            buffer = files.setdefault(op.path, bytearray())
+            end = op.offset + len(op.data)
+            if end > len(buffer):
+                buffer.extend(b"\x00" * (end - len(buffer)))
+            buffer[op.offset:end] = op.data
+        elif op.kind == "unlink":
+            files.pop(op.path, None)
+        elif op.kind == "rename":
+            if op.path in files:
+                files[op.path2] = files.pop(op.path)
+        elif op.kind == "ftruncate":
+            buffer = files.setdefault(op.path, bytearray())
+            if op.size <= len(buffer):
+                del buffer[op.size:]
+            else:
+                buffer.extend(b"\x00" * (op.size - len(buffer)))
+        elif op.kind == "close":
+            pass
+        else:
+            raise ValueError(f"unknown oracle op kind {op.kind!r}")
+
+    # -- expected states at a crash point ----------------------------------
+
+    def namespace_paths(self) -> Set[str]:
+        """Paths touched by namespace ops, including the in-flight one
+        (``_note`` only runs at ack time)."""
+        paths = set(self.ns_paths)
+        op = self.inflight
+        if op is not None and (op.kind in ("unlink", "rename", "ftruncate")
+                               or (op.kind == "open" and op.flags & O_TRUNC)):
+            if op.path:
+                paths.add(op.path)
+            if op.path2:
+                paths.add(op.path2)
+        return paths
+
+    def paths_of_interest(self) -> Set[str]:
+        paths = set(self.ever) | set(self.files)
+        if self.inflight is not None:
+            if self.inflight.path:
+                paths.add(self.inflight.path)
+            if self.inflight.path2:
+                paths.add(self.inflight.path2)
+        return paths
+
+    def expected_states(self) -> Tuple[Dict[str, Optional[bytes]],
+                                       Dict[str, Optional[bytes]]]:
+        """(before, after) over :meth:`paths_of_interest`; ``None`` means
+        the path must not exist."""
+        paths = self.paths_of_interest()
+        before = {path: bytes(self.files[path]) if path in self.files else None
+                  for path in paths}
+        if self.inflight is None:
+            return before, dict(before)
+        shadow = {path: bytearray(content)
+                  for path, content in self.files.items()}
+        self._apply(shadow, self.inflight)
+        after = {path: bytes(shadow[path]) if path in shadow else None
+                 for path in paths}
+        return before, after
+
+
+class TrackedNvcacheLibc(NvcacheLibc):
+    """An :class:`~repro.libc.NvcacheLibc` that narrates every mutating
+    call to a :class:`FileModelOracle` (begin at entry, ack at return).
+    Read-side and metadata calls pass through untouched."""
+
+    def __init__(self, nvcache, oracle: FileModelOracle):
+        super().__init__(nvcache)
+        self.oracle = oracle
+        self._paths: Dict[int, str] = {}
+
+    def open(self, path, flags=0, mode=0o644) -> Generator:
+        self.oracle.begin(OracleOp("open", path=path, flags=flags))
+        try:
+            fd = yield from self.nvcache.open(path, flags, mode)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self._paths[fd] = path
+        self.oracle.ack()
+        return fd
+
+    def close(self, fd) -> Generator:
+        self.oracle.begin(OracleOp("close", path=self._paths.get(fd, "")))
+        try:
+            result = yield from self.nvcache.close(fd)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self._paths.pop(fd, None)
+        self.oracle.ack()
+        return result
+
+    def _entries_for(self, data: bytes) -> int:
+        chunk = self.oracle.entry_data_size
+        return max(1, (len(data) + chunk - 1) // chunk)
+
+    def pwrite(self, fd, data, offset) -> Generator:
+        self.oracle.begin(OracleOp(
+            "pwrite", path=self._paths.get(fd, ""), offset=offset,
+            data=bytes(data), entries=self._entries_for(data)))
+        try:
+            written = yield from self.nvcache.pwrite(fd, data, offset)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self.oracle.ack()
+        return written
+
+    def write(self, fd, data) -> Generator:
+        handle = self.nvcache._handle(fd)
+        offset = handle.file.size if handle.flags & O_APPEND else handle.cursor
+        self.oracle.begin(OracleOp(
+            "pwrite", path=self._paths.get(fd, ""), offset=offset,
+            data=bytes(data), entries=self._entries_for(data)))
+        try:
+            written = yield from self.nvcache.write(fd, data)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self.oracle.ack()
+        return written
+
+    def unlink(self, path) -> Generator:
+        self.oracle.begin(OracleOp("unlink", path=path))
+        try:
+            result = yield from self.nvcache.unlink(path)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self.oracle.ack()
+        return result
+
+    def rename(self, old, new) -> Generator:
+        self.oracle.begin(OracleOp("rename", path=old, path2=new))
+        try:
+            result = yield from self.nvcache.rename(old, new)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self.oracle.ack()
+        return result
+
+    def ftruncate(self, fd, size) -> Generator:
+        self.oracle.begin(OracleOp(
+            "ftruncate", path=self._paths.get(fd, ""), size=size))
+        try:
+            result = yield from self.nvcache.ftruncate(fd, size)
+        except BaseException:
+            self.oracle.abort()
+            raise
+        self.oracle.ack()
+        return result

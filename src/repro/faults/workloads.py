@@ -1,0 +1,231 @@
+"""Deterministic crash workloads for the explorer.
+
+A *crash workload factory* is a zero-argument callable returning a fresh
+:class:`CrashRun`: a complete nvcache+ssd stack whose application traffic
+goes through a :class:`~repro.faults.oracle.TrackedNvcacheLibc` (so the
+oracle always knows the two legal post-crash states) plus a ``body``
+callable producing the workload generator. The explorer re-runs the
+factory for every (crash point, drop subset) case, so factories must be
+fully deterministic: same construction, same simulated schedule, same
+crash-point sequence on every call. All randomness is seeded.
+
+Shipped workloads mirror the paper's evaluation drivers:
+
+- ``fio_write_workload`` — fio-style sequential writes with periodic
+  fsync; block size 1024 over 512-byte log entries, so every write is a
+  two-entry commit group (exercises group atomicity at every point).
+- ``fio_mixed_workload`` — seeded mix of pwrite/fsync/unlink/rename/
+  truncate over a handful of files (exercises namespace replay).
+- ``db_bench_workload`` — db_bench ``fillseq`` over MiniRocks (WAL
+  appends with per-write fsync).
+- ``kvstore_workload`` — MiniRocks puts/deletes with a memtable small
+  enough to force an SSTable flush + MANIFEST write-temp/rename/unlink
+  on close.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, List
+
+from ..block import SsdDevice
+from ..core import Nvcache, NvcacheConfig, NvmmLog
+from ..fs import Ext4
+from ..kernel import Kernel
+from ..kernel.fd_table import O_CREAT, O_RDWR, O_WRONLY
+from ..nvmm import NvmmDevice
+from ..sim import Environment
+from ..units import MIB
+from .oracle import FileModelOracle, TrackedNvcacheLibc
+
+#: Small log geometry: enough room for every workload below, small
+#: enough that exhaustive exploration stays fast.
+SMALL_CONFIG = NvcacheConfig(
+    log_entries=128, entry_data_size=512, read_cache_pages=16,
+    batch_min=4, batch_max=32, fd_max=32, path_max=64,
+    cleanup_idle_flush=0.01, page_size=4096)
+
+
+@dataclass
+class CrashRun:
+    """One freshly built stack plus the workload to drive through it."""
+
+    env: Environment
+    kernel: Kernel
+    ssd: SsdDevice
+    nvmm: NvmmDevice
+    nvcache: Nvcache
+    libc: TrackedNvcacheLibc
+    oracle: FileModelOracle
+    config: NvcacheConfig
+    body: Callable[[], Generator] = None
+
+    @property
+    def devices(self) -> List[SsdDevice]:
+        return [self.ssd]
+
+
+def build_crash_run(config: NvcacheConfig = SMALL_CONFIG,
+                    ssd_size: int = 32 * MIB,
+                    start_cleanup: bool = True) -> CrashRun:
+    env = Environment()
+    ssd = SsdDevice(env, size=ssd_size)
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, ssd))
+    nvmm = NvmmDevice(env, size=NvmmLog.required_size(config))
+    nvcache = Nvcache(env, kernel, nvmm, config, start_cleanup=start_cleanup)
+    oracle = FileModelOracle(config.entry_data_size)
+    libc = TrackedNvcacheLibc(nvcache, oracle)
+    return CrashRun(env=env, kernel=kernel, ssd=ssd, nvmm=nvmm,
+                    nvcache=nvcache, libc=libc, oracle=oracle, config=config)
+
+
+# -- fio ------------------------------------------------------------------
+
+
+def fio_write_workload(ops: int = 16, block_size: int = 1024,
+                       fsync_every: int = 4, seed: int = 7,
+                       start_cleanup: bool = True) -> Callable[[], CrashRun]:
+    """fio ``rw=write``: sequential blocks + periodic fsync on one file."""
+
+    def factory() -> CrashRun:
+        run = build_crash_run(start_cleanup=start_cleanup)
+        libc = run.libc
+
+        def body() -> Generator:
+            rng = random.Random(seed)
+            fd = yield from libc.open("/bench.dat", O_CREAT | O_WRONLY)
+            for i in range(ops):
+                data = bytes([rng.randrange(256)]) * block_size
+                yield from libc.pwrite(fd, data, i * block_size)
+                if fsync_every and (i + 1) % fsync_every == 0:
+                    yield from libc.fsync(fd)
+            yield from libc.close(fd)
+            if start_cleanup:
+                # Drain the log so cleanup/block/ext4 boundaries appear
+                # in the enumeration too (the write phase is far shorter
+                # than the cleanup tick).
+                yield run.nvcache.cleanup.request_drain()
+
+        run.body = body
+        return run
+
+    return factory
+
+
+def fio_mixed_workload(ops: int = 14, seed: int = 11,
+                       start_cleanup: bool = True) -> Callable[[], CrashRun]:
+    """Seeded mix of writes, fsyncs, truncates, renames and unlinks over
+    a small set of files. Renames go to fresh names; a file is never
+    written through a stale fd after unlink/rename (see oracle scope)."""
+
+    def factory() -> CrashRun:
+        run = build_crash_run(start_cleanup=start_cleanup)
+        libc = run.libc
+
+        def body() -> Generator:
+            rng = random.Random(seed)
+            fds = {}  # path -> fd
+            serial = 0
+
+            def fresh_name():
+                nonlocal serial
+                serial += 1
+                return f"/m{serial}"
+
+            for _ in range(3):
+                path = fresh_name()
+                fds[path] = yield from libc.open(path, O_CREAT | O_RDWR)
+            for _ in range(ops):
+                action = rng.randrange(10)
+                path = rng.choice(sorted(fds))
+                fd = fds[path]
+                if action < 5:   # write (sometimes a group write)
+                    size = rng.choice((96, 512, 1300))
+                    offset = rng.randrange(0, 4) * 512
+                    data = bytes([rng.randrange(256)]) * size
+                    yield from libc.pwrite(fd, data, offset)
+                elif action < 7:  # fsync (free under NVCache)
+                    yield from libc.fsync(fd)
+                elif action == 7:  # truncate
+                    yield from libc.ftruncate(fd, rng.randrange(0, 1024))
+                elif action == 8 and len(fds) > 1:  # close + unlink
+                    yield from libc.close(fd)
+                    del fds[path]
+                    yield from libc.unlink(path)
+                else:            # close + rename + reopen under new name
+                    yield from libc.close(fd)
+                    del fds[path]
+                    new = fresh_name()
+                    yield from libc.rename(path, new)
+                    fds[new] = yield from libc.open(new, O_RDWR)
+            for path in sorted(fds):
+                yield from libc.close(fds[path])
+            yield run.nvcache.cleanup.request_drain()
+
+        run.body = body
+        return run
+
+    return factory
+
+
+# -- MiniRocks-based workloads --------------------------------------------
+
+
+def db_bench_workload(num: int = 5, seed: int = 3,
+                      start_cleanup: bool = True) -> Callable[[], CrashRun]:
+    """db_bench ``fillseq`` (sync mode) over MiniRocks: WAL append +
+    fsync per put, the paper's Fig 3 write path."""
+
+    def factory() -> CrashRun:
+        run = build_crash_run(start_cleanup=start_cleanup)
+        libc = run.libc
+
+        def body() -> Generator:
+            from ..apps.kvstore import KVOptions, MiniRocks
+            from ..workloads.db_bench import DbBench
+            db = yield from MiniRocks.open(libc, "/db", KVOptions(sync=True))
+            bench = DbBench(run.env, db, num=num, seed=seed, value_size=64)
+            yield from bench.fillseq()
+            yield from db.wal.close()
+
+        run.body = body
+        return run
+
+    return factory
+
+
+def kvstore_workload(puts: int = 6, seed: int = 5,
+                     start_cleanup: bool = True) -> Callable[[], CrashRun]:
+    """MiniRocks puts + a delete, with a memtable small enough that the
+    close-time flush writes an SSTable and replaces the MANIFEST
+    (write-temp + rename + unlink) — namespace churn under the log."""
+
+    def factory() -> CrashRun:
+        run = build_crash_run(start_cleanup=start_cleanup)
+        libc = run.libc
+
+        def body() -> Generator:
+            from ..apps.kvstore import KVOptions, MiniRocks
+            rng = random.Random(seed)
+            options = KVOptions(sync=True, memtable_bytes=1 << 16)
+            db = yield from MiniRocks.open(libc, "/kv", options)
+            for i in range(puts):
+                value = bytes([rng.randrange(256)]) * 48
+                yield from db.put(b"%08d" % i, value)
+            yield from db.delete(b"%08d" % 0)
+            yield from db.close()
+
+        run.body = body
+        return run
+
+    return factory
+
+
+WORKLOADS = {
+    "fio": fio_write_workload,
+    "fio-mixed": fio_mixed_workload,
+    "db_bench": db_bench_workload,
+    "kvstore": kvstore_workload,
+}

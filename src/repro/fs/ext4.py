@@ -111,6 +111,16 @@ class Ext4(Filesystem):
             yield self.env.timeout(0.0)
             return b"\x00" * PAGE_SIZE
         data = yield from self.device.read(block * PAGE_SIZE, PAGE_SIZE)
+        # Bytes beyond EOF are never visible: a shrinking truncate leaves
+        # the old contents of the partial tail block on the media, and a
+        # later extension must expose a hole of zeros, not those bytes
+        # (found by the crash explorer — the page cache used to mask
+        # this until a crash dropped it).
+        valid = inode.size - index * PAGE_SIZE
+        if valid < PAGE_SIZE:
+            if valid <= 0:
+                return b"\x00" * PAGE_SIZE
+            data = data[:valid] + b"\x00" * (PAGE_SIZE - valid)
         return data
 
     def write_page(self, inode: Inode, index: int, data: bytes) -> Generator:
@@ -140,14 +150,22 @@ class Ext4(Filesystem):
             record = b"JBD2" + bytes(PAGE_SIZE - 4)
             offset = self.journal_base + (
                 self.journal_cursor % (self.journal_size // PAGE_SIZE)) * PAGE_SIZE
+            yield from self.device.write(offset, record)
+            # Reset only once the record reached the device: a failed
+            # journal write (error injection) leaves the metadata pending
+            # so the retried commit journals it again.
             self.journal_cursor += 1
             self._pending_journal = 0
-            yield from self.device.write(offset, record)
+            kind = "full"
         else:
             if self._m_fast_commits is not None:
                 self._m_fast_commits.inc()
             yield self.env.timeout(self.cpu.journal_commit / 8)
+            kind = "fast"
         yield from self.device.flush()
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("fs.ext4.journal_commit", kind)
         if self._m_commit_latency is not None:
             self._m_commit_latency.observe(self.env.now - began)
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Generator, Optional, Set
+from typing import Generator, Iterable, Optional, Set, Tuple
 
 from ..sim import Environment
 from ..units import CACHE_LINE_SIZE, GIB, NS
@@ -215,6 +215,9 @@ class NvmmDevice:
         self._check_range(addr, 1)
         self.stats.pwbs += 1
         self._flush_queue.add(addr // CACHE_LINE_SIZE)
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("nvmm.pwb", f"{self.name} line {addr // CACHE_LINE_SIZE}")
 
     def pwb_range(self, addr: int, nbytes: int) -> None:
         """``pwb`` every cache line overlapping ``[addr, addr+nbytes)``."""
@@ -223,6 +226,9 @@ class NvmmDevice:
         last = (addr + max(nbytes, 1) - 1) // CACHE_LINE_SIZE
         self.stats.pwbs += last - first + 1
         self._flush_queue.update(range(first, last + 1))
+        recorder = self.env.crash_points
+        if recorder is not None:
+            recorder.hit("nvmm.pwb", f"{self.name} lines {first}..{last}")
 
     def _persist_lines(self, lines: Set[int]) -> None:
         """Copy dirty ``lines`` from the overlay into the media, coalescing
@@ -252,6 +258,11 @@ class NvmmDevice:
         actual drain is accounted when a ``psync`` waits for it.
         """
         self.stats.pfences += 1
+        recorder = self.env.crash_points
+        if recorder is not None:
+            # Pre-persist: the most adversarial instant — everything
+            # enqueued but nothing ordered yet.
+            recorder.hit("nvmm.pfence", f"{self.name} queued {len(self._flush_queue)}")
         queue = self._flush_queue
         drained = len(queue)
         if drained:
@@ -269,6 +280,11 @@ class NvmmDevice:
         reached the persistence domain (timed)."""
         self.stats.psyncs += 1
         self.pfence()
+        recorder = self.env.crash_points
+        if recorder is not None:
+            # Post-fence, pre-drain: queued lines are persistent, the
+            # caller has not been charged for the drain yet.
+            recorder.hit("nvmm.psync", self.name)
         delay = (self.timing.flush_base_latency
                  + self._undrained_lines * self.timing.per_line_flush)
         self._undrained_lines = 0
@@ -292,8 +308,14 @@ class NvmmDevice:
     def dirty_line_count(self) -> int:
         return len(self._dirty)
 
+    def dirty_lines(self) -> Tuple[int, ...]:
+        """Indices of overlay lines not yet persisted, in address order
+        (the universe :meth:`crash_image`'s ``keep_lines`` draws from)."""
+        return tuple(sorted(self._dirty))
+
     def crash_image(self, rng: Optional[random.Random] = None,
-                    eviction_probability: float = 0.0) -> bytearray:
+                    eviction_probability: float = 0.0,
+                    keep_lines: Optional[Iterable[int]] = None) -> bytearray:
         """Return the media contents as seen after a power failure.
 
         Unflushed dirty lines are lost — except that, with probability
@@ -302,15 +324,27 @@ class NvmmDevice:
         Passing ``rng`` with a non-zero probability produces adversarial
         images for recovery testing. Lines are considered in ascending
         address order, so a seeded ``rng`` reproduces the same image.
+
+        Alternatively, ``keep_lines`` names the exact set of lines the
+        cache is assumed to have evicted before the crash: those (and
+        only those, intersected with the dirty set) survive. Used by the
+        crash explorer (:mod:`repro.faults`) to enumerate deterministic
+        drop subsets; mutually exclusive with ``rng``.
         """
+        if keep_lines is not None and rng is not None:
+            raise ValueError("pass either rng or keep_lines, not both")
         image = self._media.to_bytearray()
-        if rng is not None and eviction_probability > 0.0 and self._dirty:
-            overlay = self._overlay
-            for line in sorted(self._dirty):
-                if rng.random() < eviction_probability:
-                    start = line * CACHE_LINE_SIZE
-                    image[start:start + CACHE_LINE_SIZE] = \
-                        overlay.read(start, CACHE_LINE_SIZE)
+        survivors: Iterable[int] = ()
+        if keep_lines is not None:
+            survivors = sorted(self._dirty.intersection(keep_lines))
+        elif rng is not None and eviction_probability > 0.0 and self._dirty:
+            survivors = [line for line in sorted(self._dirty)
+                         if rng.random() < eviction_probability]
+        overlay = self._overlay
+        for line in survivors:
+            start = line * CACHE_LINE_SIZE
+            image[start:start + CACHE_LINE_SIZE] = \
+                overlay.read(start, CACHE_LINE_SIZE)
         return image
 
     @classmethod

@@ -32,13 +32,16 @@ The fast path changes only the *wall* clock, never the simulated one:
 ``tests/sim/test_determinism.py`` pins the dispatch order and
 ``tools/bench_engine.py`` (see DESIGN.md §6) tracks the speedup.
 
-Observability hooks: an :class:`Environment` carries two optional,
+Observability hooks: an :class:`Environment` carries three optional,
 off-by-default attachment points — ``tracer`` (a
-:class:`repro.sim.trace.Tracer` recording a per-event timeline) and
+:class:`repro.sim.trace.Tracer` recording a per-event timeline),
 ``metrics`` (a :class:`repro.obs.MetricsRegistry`; instrumented
 components self-register their counters/gauges/histograms against it at
-construction time). Both are plain attributes, cost one ``is not None``
-check when unused, and never affect simulated time.
+construction time) and ``crash_points`` (a
+:class:`repro.faults.CrashPointRecorder`; persistence boundaries report
+themselves to it for crash-state enumeration). All are plain attributes,
+cost one ``is not None`` check when unused, and never affect simulated
+time.
 """
 
 from __future__ import annotations
@@ -188,8 +191,9 @@ class Environment:
     """The event loop: virtual clock, zero-delay lane, and a heap of
     timed callbacks."""
 
-    __slots__ = ("now", "tracer", "metrics", "events_dispatched", "_heap",
-                 "_lane", "_sequence", "_stop_requested", "_crashed_process")
+    __slots__ = ("now", "tracer", "metrics", "crash_points",
+                 "events_dispatched", "_heap", "_lane", "_sequence",
+                 "_stop_requested", "_crashed_process")
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
@@ -198,6 +202,11 @@ class Environment:
         # self-register when constructed with ``metrics`` already set.
         self.tracer = None
         self.metrics = None
+        # Optional crash-point recorder (repro.faults.CrashPointRecorder):
+        # instrumented persistence boundaries call ``hit`` on it. Costs
+        # one ``is not None`` check when unused and never touches the
+        # simulated clock.
+        self.crash_points = None
         # Callbacks dispatched so far (read by the perf harness).
         self.events_dispatched = 0
         self._heap: List[_Entry] = []

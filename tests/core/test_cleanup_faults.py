@@ -1,0 +1,136 @@
+"""Cleanup under injected device failures: an aborted batch must leave
+the log intact (nothing cleared, no tail advanced) so a crash during the
+outage loses nothing, and the retry after the device recovers drains
+with the correct data."""
+
+import pytest
+
+from repro.faults import BlockFaultInjector
+from repro.fs import Ext4
+from repro.fs.base import PAGE_SIZE
+from repro.kernel import Kernel, KernelError, O_CREAT, O_RDONLY, O_WRONLY
+from repro.block import SsdDevice
+from repro.sim import Environment
+from repro.units import MIB
+
+from .conftest import make_stack, run
+
+
+def test_write_failure_mid_batch_aborts_without_advancing_tail():
+    env, kernel, ssd, _nvmm, nv = make_stack()
+    injector = BlockFaultInjector(fail_write_probability=1.0).arm(ssd)
+
+    def during_outage():
+        fd = yield from nv.open("/f", O_CREAT | O_WRONLY)
+        for i in range(8):
+            # Acks come from the NVMM log; the broken disk is invisible
+            # to the application.
+            yield from nv.pwrite(fd, bytes([65 + i]) * 512, i * 512)
+        yield env.timeout(5.0)  # several cleanup passes against the
+        return fd               # failing device
+
+    fd = run(env, during_outage())
+    assert nv.stats.cleanup_batch_aborts >= 1
+    assert nv.stats.cleanup_batches == 0
+    # The log still holds every entry: nothing cleared, no tail moved.
+    assert nv.log.used() == 8
+    assert nv.log.persistent_tail() == 0
+    assert nv.log.volatile_tail == 0
+    for seq in range(8):
+        assert nv.log.is_committed(seq)
+        assert nv.log.read_data(seq) == bytes([65 + seq]) * 512
+
+    injector.disarm(ssd)
+
+    def after_recovery():
+        yield nv.cleanup.request_drain()
+        kfd = yield from kernel.open("/f", O_RDONLY)
+        data = yield from kernel.pread(kfd, 8 * 512, 0)
+        return data
+
+    expected = b"".join(bytes([65 + i]) * 512 for i in range(8))
+    assert run(env, after_recovery()) == expected
+    assert nv.log.used() == 0
+    assert nv.log.persistent_tail() == 8
+    assert nv.stats.cleanup_entries == 8
+
+
+def test_retry_does_not_double_apply_bookkeeping():
+    """Entries whose pwrite landed before the batch aborted (fail the
+    *sync*, not the writes) are remembered in ``_propagated``; the retry
+    must not pop their descriptors twice or double-count them."""
+    env, kernel, ssd, _nvmm, nv = make_stack()
+    # Writes succeed; the journal commit behind syncfs fails once.
+    injector = BlockFaultInjector(fail_writes=[100_000],
+                                  fail_write_probability=0.0).arm(ssd)
+
+    def body():
+        fd = yield from nv.open("/f", O_CREAT | O_WRONLY)
+        for i in range(6):
+            yield from nv.pwrite(fd, bytes([97 + i]) * 512, i * 512)
+        return fd
+
+    run(env, body())
+    # Force the first syncfs of the batch to fail: the journal record is
+    # the next device write issued by cleanup's fsync.
+    injector.disarm(ssd)
+    flaky = BlockFaultInjector(fail_write_probability=1.0).arm(ssd)
+
+    def outage():
+        yield env.timeout(2.0)
+
+    run(env, outage())
+    aborts_during_outage = nv.stats.cleanup_batch_aborts
+    assert aborts_during_outage >= 1
+    flaky.disarm(ssd)
+
+    def drain():
+        yield nv.cleanup.request_drain()
+        kfd = yield from kernel.open("/f", O_RDONLY)
+        return (yield from kernel.pread(kfd, 6 * 512, 0))
+
+    expected = b"".join(bytes([97 + i]) * 512 for i in range(6))
+    assert run(env, drain()) == expected
+    assert nv.stats.cleanup_entries == 6
+    assert nv.log.used() == 0
+
+
+def test_journal_write_failure_preserves_pending_metadata():
+    """ext4's commit resets ``_pending_journal`` only after the journal
+    record reaches the device: a failed journal write leaves the
+    metadata pending so the retried commit journals it again."""
+    env = Environment()
+    ssd = SsdDevice(env, size=64 * MIB)
+    kernel = Kernel(env)
+    fs = Ext4(env, ssd)
+    kernel.mount("/", fs)
+
+    def prepare():
+        fd = yield from kernel.open("/j", O_CREAT | O_WRONLY)
+        yield from kernel.pwrite(fd, b"x" * PAGE_SIZE, 0)
+        yield from kernel.ftruncate(fd, 10)
+        return fd
+
+    run(env, prepare())
+    assert fs._pending_journal > 0
+    pending_before = fs._pending_journal
+    cursor_before = fs.journal_cursor
+
+    injector = BlockFaultInjector(fail_write_probability=1.0).arm(ssd)
+
+    def failing_commit():
+        with pytest.raises(KernelError):
+            yield from fs.sync()
+
+    run(env, failing_commit())
+    assert fs._pending_journal >= pending_before
+    assert fs.journal_cursor == cursor_before
+
+    injector.disarm(ssd)
+
+    def clean_commit():
+        yield from fs.sync()
+
+    run(env, clean_commit())
+    assert fs._pending_journal == 0
+    assert fs.journal_cursor == cursor_before + 1

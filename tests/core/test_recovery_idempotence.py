@@ -129,3 +129,21 @@ def test_recovery_crash_before_any_progress():
     report = env3.run_process(recover(env3, kernel3, nvmm3, CFG))
     assert report.entries_applied == 1
     assert read_file(env3, kernel3, "/f", 10) == b"payload"
+
+
+def test_idempotence_holds_at_every_enumerated_crash_point():
+    """Exhaustive sweep: the explorer power-cuts a small write workload
+    at every persistence boundary it crosses, recovers each image, and
+    re-runs recovery on the recovered machine — the second pass must be
+    a no-op everywhere (the ``recovery_idempotence`` invariant), with
+    the rest of the durability contract holding alongside it."""
+    from repro.faults import CrashExplorer, DEFAULT_INVARIANTS
+    from repro.faults.workloads import fio_write_workload
+
+    assert any(inv.name == "recovery_idempotence"
+               for inv in DEFAULT_INVARIANTS)
+    explorer = CrashExplorer(fio_write_workload(ops=6), drop_subsets=0)
+    result = explorer.explore()
+    assert len(result.points) >= 6
+    assert result.violations == []
+

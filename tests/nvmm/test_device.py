@@ -108,6 +108,40 @@ def test_crash_image_random_eviction_may_keep_dirty(device):
     assert image[:5] == b"dirty"
 
 
+def test_crash_image_keep_lines_keeps_exactly_those_lines(device):
+    device.store(0 * CACHE_LINE_SIZE, b"AAAA")
+    device.store(1 * CACHE_LINE_SIZE, b"BBBB")
+    device.store(2 * CACHE_LINE_SIZE, b"CCCC")
+    image = device.crash_image(keep_lines={0, 2})
+    assert image[0:4] == b"AAAA"
+    assert image[CACHE_LINE_SIZE:CACHE_LINE_SIZE + 4] == b"\x00" * 4
+    assert image[2 * CACHE_LINE_SIZE:2 * CACHE_LINE_SIZE + 4] == b"CCCC"
+
+
+def test_crash_image_keep_lines_ignores_clean_lines(device):
+    """keep_lines is intersected with the dirty set: naming a flushed or
+    never-written line neither duplicates nor corrupts it."""
+    device.store(0, b"flushed")
+    device.pwb_range(0, 7)
+    device.pfence()
+    device.store(CACHE_LINE_SIZE, b"dirty")
+    image = device.crash_image(keep_lines={0, 1, 500})
+    assert image[:7] == b"flushed"
+    assert image[CACHE_LINE_SIZE:CACHE_LINE_SIZE + 5] == b"dirty"
+
+
+def test_crash_image_empty_keep_lines_is_the_pure_power_cut(device):
+    device.store(0, b"gone")
+    image = device.crash_image(keep_lines=())
+    assert image[:4] == b"\x00" * 4
+    assert image == device.crash_image()
+
+
+def test_crash_image_rejects_rng_combined_with_keep_lines(device):
+    with pytest.raises(ValueError):
+        device.crash_image(rng=random.Random(0), keep_lines={0})
+
+
 def test_from_image_roundtrip():
     env = Environment()
     device = NvmmDevice(env, size=4096)

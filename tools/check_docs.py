@@ -26,7 +26,8 @@ DOC_PATH = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.block import HddDevice  # noqa: E402
+from repro.block import HddDevice, SsdDevice  # noqa: E402
+from repro.faults import BlockFaultInjector  # noqa: E402
 from repro.harness.systems import Scale, build_stack  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
 from repro.sim import Environment  # noqa: E402
@@ -35,7 +36,7 @@ from repro.sim import Environment  # noqa: E402
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core)\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+    r"`((?:nvmm|block|kernel|fs|core|faults)\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 
 def registered_names() -> set:
@@ -47,6 +48,12 @@ def registered_names() -> set:
     env = Environment()
     env.metrics = MetricsRegistry()
     HddDevice(env)
+    names.update(env.metrics.names())
+    # Fault-injection counters live under faults.<device>.* and only
+    # exist once an injector is armed.
+    env = Environment()
+    env.metrics = MetricsRegistry()
+    BlockFaultInjector().arm(SsdDevice(env, size=1 << 20, name="ssd0"))
     names.update(env.metrics.names())
     return names
 
