@@ -9,11 +9,10 @@ pages must sustain the same aggregate throughput as one writer, while N
 writers hammering the SAME page serialize.
 """
 
-import pytest
 
 from repro.harness import Scale, build_stack, format_table, mib_per_s, nvcache_config
 from repro.kernel import O_CREAT, O_WRONLY
-from repro.units import KIB, MIB
+from repro.units import MIB
 
 from .conftest import run_once
 

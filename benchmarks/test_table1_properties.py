@@ -6,12 +6,10 @@ durable linearizability are checked by running the stacks, not just
 asserted from a table.
 """
 
-import pytest
 
 from repro.harness import PROPERTY_MATRIX, Scale, build_stack, format_table
 from repro.kernel import KernelError, O_CREAT, O_WRONLY
 from repro.kernel.errno import ENOSPC
-from repro.units import KIB, MIB
 
 from .conftest import run_once
 

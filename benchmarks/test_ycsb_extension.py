@@ -11,10 +11,9 @@ Expected shapes, derived from the paper's findings:
   small cache — reinforcing the paper's Fig 7 conclusion.
 """
 
-import pytest
 
 from repro.apps import KVOptions, MiniRocks
-from repro.harness import Scale, build_stack, format_table
+from repro.harness import build_stack, format_table
 from repro.units import KIB
 from repro.workloads import YcsbWorkload
 

@@ -17,7 +17,7 @@ from repro.kernel import Kernel
 from repro.libc import NvcacheLibc
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
-from repro.units import GIB, MIB, fmt_time
+from repro.units import GIB, fmt_time
 
 
 def main():

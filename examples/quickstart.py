@@ -59,7 +59,6 @@ def main():
     env2 = Environment()
     ssd.reattach(env2)
     kernel2 = Kernel(env2)
-    fs = Ext4(env2, ssd)
     # (A real reboot re-mounts the same filesystem; our Ext4 object keeps
     # its metadata, standing in for a journal replay.)
     for mountpoint, old_fs in kernel.vfs._mounts:

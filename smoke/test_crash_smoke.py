@@ -8,12 +8,18 @@ sweeps live in ``tests/faults/``; this is the quick standing gate.
 import os
 import subprocess
 import sys
+import time
 
 import pytest
 
 pytestmark = pytest.mark.crash_smoke
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Worker count for the budgeted sweeps; tools/ci_run.py --suite crash
+#: plumbs its --jobs value through this variable.
+CRASH_JOBS = int(os.environ.get("REPRO_CRASH_JOBS", "0") or 0) \
+    or min(4, os.cpu_count() or 1)
 
 
 def run_script(*argv, timeout=300):
@@ -38,9 +44,47 @@ def test_budgeted_sweep_holds_the_contract():
 
 def test_cli_check_exits_zero_on_a_clean_workload():
     result = run_script("tools/crash_explore.py", "--workload", "fio",
-                        "--budget", "10", "--check")
+                        "--budget", "10", "--check",
+                        "--jobs", str(CRASH_JOBS))
     assert result.returncode == 0, result.stdout + result.stderr
     assert "violations:              0" in result.stdout
+
+
+def test_parallel_sweep_is_byte_identical_and_faster():
+    """The acceptance gate for `--jobs`: a 4-way sharded fio sweep emits
+    a byte-identical report to a sequential one (unconditional), and on
+    a host with >= 4 cores it finishes measurably faster (>= 1.5x —
+    wall-clock assertions are meaningless on starved runners, so the
+    speedup half gates on core count)."""
+    argv = ("tools/crash_explore.py", "--workload", "fio",
+            "--subsets", "2", "--check")
+
+    started = time.perf_counter()
+    sequential = run_script(*argv, "--jobs", "1")
+    sequential_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_script(*argv, "--jobs", "4")
+    parallel_wall = time.perf_counter() - started
+
+    assert sequential.returncode == 0, sequential.stdout + sequential.stderr
+    assert parallel.returncode == 0, parallel.stdout + parallel.stderr
+    assert parallel.stdout == sequential.stdout  # byte-identical report
+
+    if (os.cpu_count() or 1) >= 4:
+        assert sequential_wall >= 1.5 * parallel_wall, (
+            f"expected >= 1.5x speedup on {os.cpu_count()} cores: "
+            f"sequential {sequential_wall:.2f}s, "
+            f"parallel {parallel_wall:.2f}s")
+
+
+def test_seed_matrix_smoke():
+    result = run_script("tools/crash_explore.py", "--workload", "fio",
+                        "--budget", "8", "--seeds", "0-2", "--check",
+                        "--jobs", str(CRASH_JOBS))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "seed matrix: 3 cell(s)" in result.stdout
+    assert "total violations: 0" in result.stdout
 
 
 def test_cli_list_points_enumerates():

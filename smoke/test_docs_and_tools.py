@@ -33,6 +33,29 @@ def test_check_docs_passes():
     assert "all documented" in result.stdout
 
 
+def test_check_docs_json_summary():
+    result = run_script("tools/check_docs.py", "--json")
+    assert result.returncode == 0, result.stderr
+    summary = json.loads(result.stdout)
+    assert summary["ok"] is True
+    assert summary["undocumented"] == [] and summary["stale"] == []
+    assert summary["registered"] >= 100
+
+
+def test_ci_run_dry_run_lists_the_tier1_command():
+    result = run_script("tools/ci_run.py", "--suite", "tier1", "--dry-run")
+    assert result.returncode == 0, result.stderr
+    line = result.stdout.strip()
+    assert line.startswith("PYTHONPATH=src ")
+    assert line.endswith("-m pytest -x -q")
+
+
+def test_ci_run_docs_suite_reproduces_this_marker():
+    result = run_script("tools/ci_run.py", "--suite", "docs", "--dry-run")
+    assert result.returncode == 0, result.stderr
+    assert "-m pytest smoke -m docs_check -q" in result.stdout
+
+
 def test_check_docs_detects_missing_metric(tmp_path):
     # Remove one documented name; the checker must fail and name it.
     doc_path = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")

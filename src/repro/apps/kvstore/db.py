@@ -19,8 +19,8 @@ what NVCache's evaluation leans on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from ...kernel.errno import ENOENT
 from ...kernel.fd_table import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY

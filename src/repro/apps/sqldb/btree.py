@@ -13,7 +13,7 @@ leaving free space in pages rather than merging aggressively.
 from __future__ import annotations
 
 import struct
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Tuple
 
 from .pager import PAGE_SIZE, Pager
 

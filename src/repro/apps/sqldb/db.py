@@ -11,7 +11,7 @@ transaction, as SQLite's BEGIN/COMMIT does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, Optional
 
 from .btree import BTree
 from .pager import Pager

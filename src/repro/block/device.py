@@ -16,7 +16,7 @@ the behaviour of the paper's `psync`/qd1 FIO configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
 from ..sim import Environment, Lock

@@ -8,7 +8,7 @@ plus a pointer into the file table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..sim import Environment

@@ -15,7 +15,7 @@ This object stands in for the patched musl libc: applications call
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..kernel.errno import EBADF, EINVAL, ENOENT, KernelError
 from ..kernel.fd_table import (
@@ -34,7 +34,7 @@ from ..nvmm import NvmmDevice
 from ..sim import Environment
 from .cleanup import CleanupThread
 from .config import DEFAULT_CONFIG, NvcacheConfig
-from .files import FileTables, NvFile, NvOpenFile
+from .files import FileTables, NvOpenFile
 from .log import NvmmLog
 from .radix import RadixTree
 from .read_cache import PageDescriptor, ReadCache

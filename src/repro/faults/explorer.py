@@ -239,22 +239,44 @@ class CrashExplorer:
 
     # -- pass 2: the full sweep --------------------------------------------
 
-    def explore(self) -> ExplorationResult:
+    def case_plan(self) -> List[Tuple[Optional[int], int]]:
+        """The ordered list of ``(point index, variant)`` cases a full
+        sweep runs; ``(None, v)`` is the synthetic end-of-run point.
+
+        Every case is an independent deterministic simulation, so the
+        plan is the sharding unit for ``repro.parallel``: any partition
+        of it, run anywhere, merges back into the exact
+        :meth:`explore` result as long as plan order is restored.
+        """
         points = self.enumerate_points()
-        selected = self.select_indices()
-        result = ExplorationResult(points=points, selected=list(selected))
-        for index in selected:
-            result.cases.append(self.run_case(index, variant=0))
+        plan: List[Tuple[Optional[int], int]] = []
+        for index in self.select_indices():
+            plan.append((index, 0))
             if points[index].dirty_lines > 0:
                 for variant in range(1, self.drop_subsets + 1):
-                    result.cases.append(self.run_case(index, variant=variant))
+                    plan.append((index, variant))
         if self.include_end_of_run:
-            result.selected.append(len(points))
-            result.cases.append(self.run_case(None))
+            plan.append((None, 0))
             if self._end_dirty > 0:
                 for variant in range(1, self.drop_subsets + 1):
-                    result.cases.append(
-                        self.run_case(None, variant=variant))
+                    plan.append((None, variant))
+        return plan
+
+    def result_shell(self) -> ExplorationResult:
+        """An :class:`ExplorationResult` with points/selected filled in
+        and no cases yet — what a sharded sweep merges case results
+        into (``selected`` matches :meth:`explore` exactly, including
+        the synthetic end-of-run index)."""
+        points = self.enumerate_points()
+        selected = self.select_indices()
+        if self.include_end_of_run:
+            selected.append(len(points))
+        return ExplorationResult(points=points, selected=selected)
+
+    def explore(self) -> ExplorationResult:
+        result = self.result_shell()
+        for index, variant in self.case_plan():
+            result.cases.append(self.run_case(index, variant=variant))
         return result
 
     # -- shrinking ----------------------------------------------------------

@@ -23,7 +23,7 @@ The five shipped invariants restate DESIGN.md §3's durability contract:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from .oracle import OracleOp

@@ -24,7 +24,7 @@ do not produce that pattern (see docs/CRASH_TESTING.md, Limitations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Set, Tuple
 
 from ..kernel.fd_table import O_ACCMODE, O_APPEND, O_CREAT, O_RDONLY, O_TRUNC

@@ -13,7 +13,7 @@ straight to the filesystem (DAX filesystems, tmpfs).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from ..kernel.errno import (
     EEXIST,

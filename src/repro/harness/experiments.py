@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..apps import KVOptions, MiniRocks, MiniSqlite
 from ..units import GIB, KIB, MIB

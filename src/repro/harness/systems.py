@@ -9,7 +9,7 @@ effect depends on size *ratios*, which scaling preserves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from ..block import SsdDevice
@@ -20,7 +20,7 @@ from ..libc import Libc, NvcacheLibc
 from ..nvmm import NvmmDevice
 from ..obs import MetricsRegistry
 from ..sim import Environment
-from ..units import GIB, KIB, MIB
+from ..units import GIB, KIB
 
 SYSTEM_NAMES = (
     "nvcache+ssd",

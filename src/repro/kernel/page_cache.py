@@ -21,7 +21,7 @@ A crash drops every page — durability only ever comes from the device.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Set, Tuple
 
 from ..sim import Environment, Lock

@@ -27,18 +27,16 @@ from .fd_table import (
     LOCK_SH,
     LOCK_UN,
     O_ACCMODE,
-    O_APPEND,
     O_CREAT,
     O_EXCL,
     O_RDONLY,
     O_TRUNC,
-    O_WRONLY,
     OpenFile,
     SEEK_CUR,
     SEEK_END,
     SEEK_SET,
 )
-from .inode import Stat, stat_of
+from .inode import stat_of
 from .page_cache import PageCache
 from .vfs import Vfs, normalize
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from ..sim import Environment, Waitable
+from ..sim import Environment
 
 EINPROGRESS = 115
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..kernel import Kernel
-from ..kernel.fd_table import SEEK_CUR, SEEK_END, SEEK_SET
+from ..kernel.fd_table import SEEK_SET
 
 
 class Libc:

@@ -21,7 +21,6 @@ from ..kernel.fd_table import (
     O_TRUNC,
     O_WRONLY,
     SEEK_CUR,
-    SEEK_END,
     SEEK_SET,
 )
 from .libc import Libc, NvcacheLibc

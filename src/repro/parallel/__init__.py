@@ -1,0 +1,41 @@
+"""Multi-process work sharding for the repo's validation surfaces.
+
+The three heavyweight validation workloads — crash-point sweeps
+(``repro.faults``), the figure-reproduction benchmark matrices, and the
+wall-clock engine harness — are all *embarrassingly parallel*: every
+cell is an independent deterministic simulation. This package splits
+them across worker processes with the three properties CI needs:
+
+- **bounded failure** — per-task timeouts, hung/killed workers are
+  terminated and the task retried a bounded number of times, and a task
+  that keeps dying is *reported*, never silently dropped;
+- **graceful degradation** — if the host cannot start a process pool
+  (or ``jobs <= 1``), everything runs sequentially in-process with the
+  same results and exit codes;
+- **deterministic merge** — results are ordered by task key, never by
+  arrival, so a merged report is byte-identical regardless of worker
+  count or scheduling.
+
+Layout: :mod:`~repro.parallel.engine` is the generic shard engine
+(stdlib ``multiprocessing`` only); :mod:`~repro.parallel.crash` shards
+crash-point sweeps and seed matrices over it; :mod:`~repro.parallel.procs`
+is the subprocess-command worker ``tools/ci_run.py`` drives suites with.
+Engine health surfaces as ``parallel.engine.*`` metrics
+(docs/OBSERVABILITY.md) when a :class:`~repro.obs.MetricsRegistry` is
+passed in.
+"""
+
+from .engine import (PoolUnavailable, ShardEngine, Task, TaskResult,
+                     register_engine_metrics)
+from .crash import SweepSpec, parallel_explore, seed_matrix
+
+__all__ = [
+    "PoolUnavailable",
+    "ShardEngine",
+    "SweepSpec",
+    "Task",
+    "TaskResult",
+    "parallel_explore",
+    "register_engine_metrics",
+    "seed_matrix",
+]

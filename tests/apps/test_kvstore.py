@@ -1,7 +1,6 @@
 """Tests for MiniRocks: LSM semantics, WAL recovery, compaction,
 bloom filters — on both libcs."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

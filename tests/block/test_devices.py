@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.block import BlockDevice, HddDevice, RamDisk, SsdDevice, elevator_order
+from repro.block import HddDevice, RamDisk, SsdDevice, elevator_order
 from repro.sim import Environment
 from repro.units import KIB, MIB
 

@@ -1,7 +1,6 @@
 """Focused tests for the dm-writecache block target: watermarks,
 throttling, and the cache/origin interplay."""
 
-import pytest
 
 from repro.block import SsdDevice
 from repro.fs import DmWriteCache

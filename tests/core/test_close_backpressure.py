@@ -1,7 +1,6 @@
 """Close-path backpressure: descriptor churn under saturation blocks on
 a cleanup-thread-fired waitable instead of spinning 0.5 ms polls."""
 
-import pytest
 
 from repro.core import NvcacheConfig
 from repro.kernel.fd_table import O_CREAT, O_WRONLY

@@ -1,7 +1,6 @@
 """Multi-threading semantics (paper §II-D): POSIX read/write atomicity,
 parallel independent writes, writer/cleanup/reader interplay."""
 
-import pytest
 
 from repro.kernel import O_CREAT, O_RDWR, O_WRONLY
 

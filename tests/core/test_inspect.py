@@ -1,14 +1,11 @@
 """Tests for the offline log inspector (fsck tooling)."""
 
-import pytest
 
-from repro.core import NvcacheConfig
 from repro.core.inspect import format_report, inspect_log
 from repro.kernel import O_CREAT, O_WRONLY
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
 
-from .conftest import make_stack
 from .test_recovery import CFG as RCFG, fresh_stack
 
 

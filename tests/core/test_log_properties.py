@@ -2,11 +2,10 @@
 interleavings of allocation, commit, and retirement must preserve the
 head/tail invariants and never lose or duplicate a committed entry."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import COMMIT_FREE, NvcacheConfig, NvcacheStats, NvmmLog
+from repro.core import NvcacheConfig, NvcacheStats, NvmmLog
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
 
@@ -33,7 +32,6 @@ def test_property_ring_discipline(script):
     retired = set()
 
     def body():
-        next_fill = 0
         for action, amount in script:
             if action == "alloc":
                 if log.used() + amount > log.entries:

@@ -1,9 +1,8 @@
 """The circular log's hardest paths: wraparound under load, crash after
 wrap, recovery from a ring whose tail is mid-ring."""
 
-import pytest
 
-from repro.kernel import O_CREAT, O_RDONLY, O_WRONLY
+from repro.kernel import O_CREAT, O_WRONLY
 
 from .test_recovery import CFG, crash_and_recover, fresh_stack, read_file
 

@@ -2,13 +2,12 @@
 behave exactly like an in-memory file model, under arbitrary operation
 sequences interleaved with cleanup-thread activity."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kernel import O_CREAT, O_RDWR
 
-from .conftest import SMALL_CONFIG, make_stack
+from .conftest import make_stack
 
 
 class FileModel:

@@ -1,7 +1,6 @@
 """Multi-application / multi-process coherence (paper §III):
 two NVCache instances on one machine, sharing files via flock."""
 
-import pytest
 
 from repro.block import SsdDevice
 from repro.core import Nvcache, NvcacheConfig, NvmmLog

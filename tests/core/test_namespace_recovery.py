@@ -9,7 +9,7 @@ un-truncate a file.
 from repro.kernel import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, KernelError
 from repro.kernel.errno import ENOENT
 
-from .test_recovery import CFG, crash_and_recover, fresh_stack, read_file
+from .test_recovery import crash_and_recover, fresh_stack, read_file
 
 
 def test_unlink_replayed_after_writes():

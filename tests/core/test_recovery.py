@@ -3,14 +3,13 @@ linearizability's prefix property, group atomicity under power failure."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.block import SsdDevice
 from repro.core import Nvcache, NvcacheConfig, NvmmLog, recover
 from repro.fs import Ext4
-from repro.kernel import Kernel, O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.kernel import Kernel, O_CREAT, O_RDONLY, O_WRONLY
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
 from repro.units import MIB

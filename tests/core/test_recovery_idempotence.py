@@ -4,13 +4,11 @@ propagation, so replaying a prefix twice is harmless)."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.block import SsdDevice
-from repro.core import NvmmLog, recover
-from repro.kernel import Kernel, O_CREAT, O_RDONLY, O_WRONLY
+from repro.core import recover
+from repro.kernel import Kernel, O_CREAT, O_WRONLY
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
 

@@ -8,7 +8,7 @@ from repro.kernel import Kernel, KernelError, O_CREAT, O_DIRECT, O_RDONLY, O_RDW
 from repro.kernel.errno import ENOSPC
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment
-from repro.units import KIB, MIB
+from repro.units import MIB
 
 
 @pytest.fixture

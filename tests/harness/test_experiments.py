@@ -10,7 +10,6 @@ from repro.harness import (
     fig5_log_saturation,
     fig6_batching,
     fig7_read_cache_size,
-    format_fio_comparison,
     format_table,
     mib_per_s,
     saturation_point,

@@ -2,7 +2,6 @@
 simulated kernel, including crash recovery *through both layers* (NVCache
 log replay first, then the application's own journal/WAL recovery)."""
 
-import pytest
 
 from repro.apps import KVOptions, MiniRocks, MiniSqlite
 from repro.block import SsdDevice

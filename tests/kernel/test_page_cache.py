@@ -6,7 +6,6 @@ import pytest
 from repro.block import SsdDevice
 from repro.fs import Ext4
 from repro.kernel import PageCache, PAGE_SIZE
-from repro.sim import Environment
 from repro.units import MIB
 
 from .conftest import run

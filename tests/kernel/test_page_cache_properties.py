@@ -2,7 +2,6 @@
 byte buffer under arbitrary operation sequences, with eviction pressure,
 writeback, fsync, and crashes at fsync boundaries."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,6 @@ from repro.kernel import (
     O_RDONLY,
     O_RDWR,
     O_WRONLY,
-    PageCache,
     SEEK_SET,
 )
 from repro.kernel.errno import EEXIST, EINVAL, EISDIR, ENOENT, ENOTEMPTY

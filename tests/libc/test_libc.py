@@ -5,7 +5,7 @@ import pytest
 from repro.block import SsdDevice
 from repro.core import Nvcache, NvcacheConfig, NvmmLog
 from repro.fs import Ext4
-from repro.kernel import Kernel, O_CREAT, O_RDONLY, O_RDWR, O_WRONLY, SEEK_SET
+from repro.kernel import Kernel, O_CREAT, O_RDWR, O_WRONLY, SEEK_SET
 from repro.libc import Libc, NvcacheLibc, Stdio
 from repro.nvmm import NvmmDevice
 from repro.sim import Environment

@@ -1,0 +1,60 @@
+"""The benchmark matrix shard selector must be a deterministic
+partition: every cell in exactly one shard, the union is the full
+matrix, and the assignment depends only on the collected node ids."""
+
+import os
+import subprocess
+import sys
+
+from benchmarks.conftest import shard_assignments
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_assignment_is_a_partition():
+    ids = [f"benchmarks/test_x.py::test_{i}" for i in range(23)]
+    owner = shard_assignments(ids, 4)
+    assert set(owner) == set(ids)
+    assert set(owner.values()) <= {0, 1, 2, 3}
+    sizes = [list(owner.values()).count(s) for s in range(4)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_assignment_ignores_collection_order():
+    ids = [f"t::{name}" for name in "dcba"]
+    assert shard_assignments(ids, 2) == shard_assignments(sorted(ids), 2)
+
+
+def collect(*extra):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "--collect-only",
+         "-q", *extra],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stdout + result.stderr
+    return {line for line in result.stdout.splitlines()
+            if "::" in line and not line.startswith(" ")}
+
+
+def test_two_shards_partition_the_collected_matrix():
+    full = collect()
+    shard0 = collect("--shard-count", "2", "--shard-index", "0")
+    shard1 = collect("--shard-count", "2", "--shard-index", "1")
+    assert shard0 | shard1 == full
+    assert not shard0 & shard1
+    assert shard0 and shard1
+
+
+def test_out_of_range_shard_index_is_a_usage_error():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "--collect-only",
+         "-q", "--shard-count", "2", "--shard-index", "5"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
+    assert result.returncode != 0
+    assert "outside" in result.stdout + result.stderr

@@ -1,0 +1,143 @@
+"""The CI orchestrator's contracts: dry-run lists the exact commands,
+exit codes survive the sequential fallback unchanged, and the summary
+formats are machine-readable."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.parallel import ShardEngine, Task
+from repro.parallel.procs import run_command
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def load_ci_run():
+    spec = importlib.util.spec_from_file_location(
+        "ci_run", os.path.join(REPO_ROOT, "tools", "ci_run.py"))
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["ci_run"] = module  # dataclasses resolve via sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def ci_run():
+    return load_ci_run()
+
+
+def run_tool(*argv, timeout=120):
+    return subprocess.run([sys.executable, "tools/ci_run.py", *argv],
+                          cwd=REPO_ROOT, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def test_dry_run_lists_the_exact_tier1_command():
+    result = run_tool("--suite", "tier1", "--dry-run")
+    assert result.returncode == 0, result.stderr
+    lines = result.stdout.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0] == f"PYTHONPATH=src {sys.executable} -m pytest -x -q"
+
+
+def test_dry_run_all_covers_every_suite():
+    result = run_tool("--suite", "all", "--dry-run")
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "-m pytest -x -q" in out
+    assert "-m pytest smoke -m docs_check -q" in out
+    assert "-m pytest smoke -m crash_smoke -q" in out
+    for workload in ("fio", "fio-mixed", "db_bench", "kvstore"):
+        assert f"--workload {workload}" in out
+    assert "tools/bench_engine.py --check" in out
+
+
+def test_unknown_suite_exits_2():
+    result = run_tool("--suite", "nope", "--dry-run")
+    assert result.returncode == 2
+
+
+def test_suite_requires_argument():
+    result = run_tool("--dry-run")
+    assert result.returncode == 2
+
+
+def test_exit_codes_survive_the_sequential_fallback():
+    failing = [sys.executable, "-c", "import sys; sys.exit(3)"]
+    task = Task(key=(0,), fn="repro.parallel.procs:run_command",
+                args=(failing,))
+    parallel = ShardEngine(jobs=2).run([task])
+    sequential = ShardEngine(jobs=2, force_sequential=True).run([task])
+    assert parallel[0].value["returncode"] == 3
+    assert sequential[0].value["returncode"] == 3
+
+
+def test_run_steps_reports_failures_with_real_exit_codes(ci_run, capsys):
+    steps = [
+        ci_run.Step("ok", [sys.executable, "-c", "print('fine')"]),
+        ci_run.Step("bad", [sys.executable, "-c", "import sys; sys.exit(5)"]),
+        ci_run.Step("soft", [sys.executable, "-c", "import sys; sys.exit(7)"],
+                    advisory=True),
+    ]
+    results = ci_run.run_steps(steps, jobs=1)
+    capsys.readouterr()
+    by_name = {r.step.name: r for r in results}
+    assert by_name["ok"].returncode == 0 and by_name["ok"].status == "pass"
+    assert by_name["bad"].returncode == 5 and by_name["bad"].status == "FAIL"
+    assert by_name["soft"].returncode == 7 and by_name["soft"].status == "warn"
+    payload = ci_run.summary_payload(["custom"], results)
+    assert payload["ok"] is False
+    assert payload["failures"] == ["bad"]
+    assert payload["warnings"] == ["soft"]
+
+
+def test_fanout_steps_share_exit_code_semantics(ci_run, capsys):
+    steps = [
+        ci_run.Step("f-ok", [sys.executable, "-c", "print('y')"],
+                    fanout=True),
+        ci_run.Step("f-bad", [sys.executable, "-c", "import sys; sys.exit(4)"],
+                    fanout=True),
+    ]
+    results = ci_run.run_steps(steps, jobs=2)
+    capsys.readouterr()
+    by_name = {r.step.name: r for r in results}
+    assert by_name["f-ok"].returncode == 0
+    assert by_name["f-bad"].returncode == 4
+
+
+def test_junit_output_is_well_formed_xml(ci_run, tmp_path, capsys):
+    steps = [
+        ci_run.Step("good", [sys.executable, "-c", "print('ok')"]),
+        ci_run.Step("bad", [sys.executable, "-c", "import sys; sys.exit(2)"]),
+    ]
+    results = ci_run.run_steps(steps, jobs=1)
+    capsys.readouterr()
+    path = tmp_path / "junit.xml"
+    ci_run.write_junit(str(path), ["custom"], results)
+    import xml.etree.ElementTree as ET
+    root = ET.parse(path).getroot()
+    assert root.tag == "testsuite"
+    assert root.get("tests") == "2"
+    assert root.get("failures") == "1"
+    cases = {case.get("name"): case for case in root.findall("testcase")}
+    assert cases["bad"].find("failure") is not None
+    assert cases["good"].find("failure") is None
+
+
+def test_run_command_reports_missing_binary_as_127():
+    record = run_command(["/nonexistent/binary-for-this-test"])
+    assert record["returncode"] == 127
+
+
+def test_json_summary_flag_round_trips(ci_run):
+    steps = [ci_run.Step("ok", [sys.executable, "-c", "print(1)"])]
+    results = ci_run.run_steps(steps, jobs=1)
+    payload = ci_run.summary_payload(["x"], results)
+    decoded = json.loads(json.dumps(payload))
+    assert decoded["ok"] is True
+    assert decoded["steps"][0]["name"] == "ok"

@@ -1,0 +1,157 @@
+"""Contract tests for the generic shard engine: deterministic merge,
+bounded retry on worker death, per-task timeouts, and the sequential
+fallback. Worker functions live in ``tests/parallel/workers.py``."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import (PoolUnavailable, ShardEngine, Task,
+                            register_engine_metrics)
+from repro.parallel.engine import (CRASHED, DONE, FAILED, TIMEOUT, chunked,
+                                   resolve_worker)
+
+W = "tests.parallel.workers"
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+
+def make_tasks(n=8):
+    return [Task(key=(i,), fn=f"{W}:square", args=(i,)) for i in range(n)]
+
+
+def test_parallel_results_are_sorted_by_key_and_correct():
+    engine = ShardEngine(jobs=3)
+    results = engine.run(make_tasks(10))
+    assert engine.mode == "parallel"
+    assert [r.key for r in results] == [(i,) for i in range(10)]
+    assert [r.value for r in results] == [i * i for i in range(10)]
+    assert all(r.status == DONE for r in results)
+
+
+def test_sequential_fallback_produces_identical_records():
+    parallel = ShardEngine(jobs=2).run(make_tasks(6))
+    sequential = ShardEngine(jobs=2, force_sequential=True).run(make_tasks(6))
+    strip = [(r.key, r.status, r.value) for r in parallel]
+    assert strip == [(r.key, r.status, r.value) for r in sequential]
+
+
+def test_jobs_one_runs_in_process():
+    engine = ShardEngine(jobs=1)
+    results = engine.run(make_tasks(3))
+    assert engine.mode == "sequential"
+    assert [r.value for r in results] == [0, 1, 4]
+
+
+def test_worker_exception_is_failed_not_retried_and_does_not_sink_the_run():
+    tasks = make_tasks(4) + [Task(key=(99,), fn=f"{W}:boom",
+                                  args=("kaboom",))]
+    results = ShardEngine(jobs=2).run(tasks)
+    by_key = {r.key: r for r in results}
+    assert by_key[(99,)].status == FAILED
+    assert "kaboom" in by_key[(99,)].error
+    assert by_key[(99,)].attempts == 1
+    assert all(by_key[(i,)].status == DONE for i in range(4))
+
+
+@needs_fork
+def test_killed_worker_is_retried_then_succeeds(tmp_path):
+    marker = tmp_path / "died-once"
+    registry = MetricsRegistry()
+    tasks = make_tasks(4) + [Task(key=(50,), fn=f"{W}:die_once",
+                                  args=(str(marker), 42))]
+    results = ShardEngine(jobs=2, registry=registry).run(tasks)
+    by_key = {r.key: r for r in results}
+    assert by_key[(50,)].status == DONE
+    assert by_key[(50,)].value == 42
+    assert by_key[(50,)].attempts == 2
+    assert registry.get("parallel.engine.tasks_retried").value() == 1
+    assert registry.get("parallel.engine.worker_crashes").value() >= 1
+
+
+@needs_fork
+def test_persistently_dying_worker_is_reported_not_raised():
+    registry = MetricsRegistry()
+    tasks = make_tasks(4) + [Task(key=(50,), fn=f"{W}:die")]
+    results = ShardEngine(jobs=2, max_attempts=2,
+                          registry=registry).run(tasks)
+    by_key = {r.key: r for r in results}
+    assert by_key[(50,)].status == CRASHED
+    assert by_key[(50,)].attempts == 2
+    assert "died" in by_key[(50,)].error
+    # The healthy tasks all completed despite the worker deaths.
+    assert all(by_key[(i,)].status == DONE for i in range(4))
+
+
+def test_hung_worker_is_timed_out_without_stalling_the_sweep():
+    tasks = [Task(key=(0,), fn=f"{W}:sleepy", args=(60.0,), timeout=0.4)]
+    tasks += [Task(key=(i,), fn=f"{W}:square", args=(i,))
+              for i in range(1, 5)]
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    results = ShardEngine(jobs=2, max_attempts=1,
+                          registry=registry).run(tasks)
+    assert time.perf_counter() - started < 30.0
+    by_key = {r.key: r for r in results}
+    assert by_key[(0,)].status == TIMEOUT
+    assert all(by_key[(i,)].status == DONE for i in range(1, 5))
+    assert registry.get("parallel.engine.tasks_timed_out").value() == 1
+
+
+def test_pool_failure_degrades_to_sequential(monkeypatch):
+    registry = MetricsRegistry()
+    engine = ShardEngine(jobs=4, registry=registry)
+
+    def refuse(self):
+        raise PoolUnavailable("no processes today")
+
+    monkeypatch.setattr(ShardEngine, "_spawn_worker", refuse)
+    results = engine.run(make_tasks(5))
+    assert engine.mode == "sequential"
+    assert [r.value for r in results] == [i * i for i in range(5)]
+    assert registry.get(
+        "parallel.engine.sequential_fallbacks").value() == 1
+
+
+def test_unpicklable_result_is_an_error_not_a_hang():
+    results = ShardEngine(jobs=2).run(
+        [Task(key=(0,), fn=f"{W}:unpicklable")])
+    assert results[0].status == FAILED
+    assert "picklable" in results[0].error
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        ShardEngine(jobs=1).run([Task(key=(0,), fn=f"{W}:square", args=(1,)),
+                                 Task(key=(0,), fn=f"{W}:square", args=(2,))])
+
+
+def test_empty_run():
+    assert ShardEngine(jobs=4).run([]) == []
+
+
+def test_resolve_worker_rejects_malformed_references():
+    with pytest.raises(ValueError):
+        resolve_worker("no_colon_here")
+
+
+def test_chunked_partitions_in_order():
+    assert chunked(list(range(7)), 3) == [[0, 1, 2], [3, 4], [5, 6]]
+    assert chunked([1, 2], 8) == [[1], [2]]
+    assert chunked([], 4) == [[]]
+    flat = [x for chunk in chunked(list(range(100)), 7) for x in chunk]
+    assert flat == list(range(100))
+
+
+def test_register_engine_metrics_is_idempotent():
+    registry = MetricsRegistry()
+    first = register_engine_metrics(registry)
+    second = register_engine_metrics(registry)
+    assert first == second
+    # Two engines on one registry must not collide either.
+    ShardEngine(jobs=1, registry=registry)
+    ShardEngine(jobs=1, registry=registry)

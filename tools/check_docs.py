@@ -17,6 +17,8 @@ usable standalone::
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import re
 import sys
@@ -30,13 +32,15 @@ from repro.block import HddDevice, SsdDevice  # noqa: E402
 from repro.faults import BlockFaultInjector  # noqa: E402
 from repro.harness.systems import Scale, build_stack  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
+from repro.parallel import register_engine_metrics  # noqa: E402
 from repro.sim import Environment  # noqa: E402
 
 #: Matches backticked metric names: a known layer prefix followed by at
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core|faults)\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+    r"`((?:nvmm|block|kernel|fs|core|faults|parallel)"
+    r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 
 def registered_names() -> set:
@@ -55,6 +59,11 @@ def registered_names() -> set:
     env.metrics = MetricsRegistry()
     BlockFaultInjector().arm(SsdDevice(env, size=1 << 20, name="ssd0"))
     names.update(env.metrics.names())
+    # Shard-engine counters live under parallel.engine.* and exist once
+    # any ShardEngine is built with a registry (repro.parallel).
+    registry = MetricsRegistry()
+    register_engine_metrics(registry)
+    names.update(registry.names())
     return names
 
 
@@ -62,7 +71,12 @@ def documented_names(doc_text: str) -> set:
     return set(DOC_NAME_PATTERN.findall(doc_text))
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable summary on stdout "
+                             "(for tools/ci_run.py aggregation)")
+    args = parser.parse_args(argv)
     if not os.path.exists(DOC_PATH):
         print(f"FAIL: {DOC_PATH} does not exist", file=sys.stderr)
         return 1
@@ -73,6 +87,15 @@ def main() -> int:
 
     undocumented = sorted(registered - documented)
     stale = sorted(documented - registered)
+    if args.json:
+        print(json.dumps({
+            "ok": not undocumented and not stale,
+            "registered": len(registered),
+            "documented": len(documented),
+            "undocumented": undocumented,
+            "stale": stale,
+        }, indent=2, sort_keys=True))
+        return 1 if undocumented or stale else 0
     if undocumented:
         print("FAIL: registered metrics missing from docs/OBSERVABILITY.md:",
               file=sys.stderr)

@@ -10,6 +10,14 @@ runs recovery, and checks the durability contract
     PYTHONPATH=src python tools/crash_explore.py --workload fio-mixed \
         --budget 40 --subsets 2 --seed 1 --check
     PYTHONPATH=src python tools/crash_explore.py --workload fio --list-points
+    PYTHONPATH=src python tools/crash_explore.py --workload fio --jobs 4 \
+        --check --json
+
+``--jobs N`` shards the sweep across N worker processes
+(``repro.parallel``); the report is byte-identical to a sequential run
+regardless of N — results merge in plan order, never arrival order.
+``--seeds`` runs a survivor-sampling seed matrix (one full sweep per
+seed, also sharded across the jobs).
 
 Exit codes: 0 = explored clean, 1 = invariant violations found
 (with ``--check``), 2 = usage or harness error.
@@ -18,6 +26,7 @@ Exit codes: 0 = explored clean, 1 = invariant violations found
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -26,6 +35,26 @@ sys.path.insert(0, os.path.join(
 
 from repro.faults import CrashExplorer, ExplorationError  # noqa: E402
 from repro.faults.workloads import WORKLOADS  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.parallel import (ShardEngine, SweepSpec, parallel_explore,  # noqa: E402
+                            seed_matrix)
+
+
+def parse_seeds(text: str) -> list:
+    """``"0,2,5-7"`` -> ``[0, 2, 5, 6, 7]`` (sorted, deduplicated)."""
+    seeds = set()
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part[1:]:
+            lo, _, hi = part[1:].partition("-")
+            seeds.update(range(int(part[0] + lo), int(hi) + 1))
+        else:
+            seeds.add(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return sorted(seeds)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "point, on top of the drop-all image")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for survivor-subset sampling")
+    parser.add_argument("--seeds", type=str, default=None,
+                        help="seed matrix: comma list / ranges ('0,2,4-7'); "
+                             "one full sweep per seed, overrides --seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard the sweep across "
+                             "(default 1 = sequential; 0 = all cores)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-shard deadline in seconds (parallel only)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable summary on stdout "
+                             "instead of the text report")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump parallel.* engine metrics to stderr "
+                             "after the sweep")
     parser.add_argument("--list-points", action="store_true",
                         help="enumerate and print the crash points, "
                              "then exit without exploring")
@@ -53,14 +96,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check", action="store_true",
                         help="exit 1 if any invariant violation is found")
     return parser
-
-
-def make_factory(args: argparse.Namespace):
-    maker = WORKLOADS[args.workload]
-    if args.ops is None:
-        return maker()
-    # Every shipped workload's first parameter is its op count.
-    return maker(args.ops)
 
 
 def list_points(explorer: CrashExplorer) -> None:
@@ -88,24 +123,102 @@ def report_violations(result, explorer: CrashExplorer,
                   f"lines)")
 
 
+def json_summary(workload: str, result) -> dict:
+    """Deterministic machine-readable sweep summary: no wall-clock, no
+    worker info — byte-identical for any ``--jobs``."""
+    by_invariant = {}
+    for violation in result.violations:
+        by_invariant[violation.invariant] = \
+            by_invariant.get(violation.invariant, 0) + 1
+    failing = [{
+        "point": case.point.index,
+        "site": case.point.site,
+        "label": case.point.label,
+        "variant": case.variant,
+        "keep_lines": list(case.keep_lines),
+        "violations": [{"invariant": v.invariant, "message": v.message}
+                       for v in case.violations],
+    } for case in result.cases if case.violations]
+    return {
+        "workload": workload,
+        "ok": result.ok,
+        "points": len(result.points),
+        "explored": len(result.selected),
+        "cases": len(result.cases),
+        "violations": len(result.violations),
+        "by_site": result.site_histogram(),
+        "by_invariant": by_invariant,
+        "failing_cases": failing,
+    }
+
+
+def print_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def dump_metrics(registry: MetricsRegistry) -> None:
+    for metric in registry.collect("parallel"):
+        print(f"{metric.name} = {metric.value():g}", file=sys.stderr)
+
+
+def run_matrix(args, spec: SweepSpec, engine: ShardEngine) -> int:
+    seeds = parse_seeds(args.seeds)
+    cells = seed_matrix(spec, seeds, engine=engine)
+    total = sum(cell["violations"] for cell in cells)
+    if args.json:
+        print_json({"workload": args.workload, "seeds": seeds,
+                    "cells": cells, "violations": total,
+                    "ok": total == 0})
+    else:
+        print(f"workload: {args.workload}")
+        print(f"seed matrix: {len(cells)} cell(s)")
+        for cell in cells:
+            print(f"  seed {cell['seed']:4d}: cases {cell['cases']:5d}  "
+                  f"violations {cell['violations']}")
+        print(f"total violations: {total}")
+    return 1 if total and args.check else 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    registry = MetricsRegistry()
     try:
-        explorer = CrashExplorer(make_factory(args), budget=args.budget,
-                                 drop_subsets=args.subsets, seed=args.seed)
+        spec = SweepSpec(workload=args.workload, ops=args.ops,
+                         budget=args.budget, subsets=args.subsets,
+                         seed=args.seed)
+        jobs = args.jobs if args.jobs > 0 else None
+        engine = ShardEngine(jobs=jobs, registry=registry)
+        explorer = CrashExplorer(
+            WORKLOADS[args.workload]() if args.ops is None
+            else WORKLOADS[args.workload](args.ops),
+            budget=args.budget, drop_subsets=args.subsets, seed=args.seed)
         if args.list_points:
             list_points(explorer)
             return 0
-        result = explorer.explore()
+        if args.seeds is not None:
+            code = run_matrix(args, spec, engine)
+            if args.metrics:
+                dump_metrics(registry)
+            return code
+        result = parallel_explore(spec, engine=engine, explorer=explorer,
+                                  shard_timeout=args.shard_timeout)
+    except ValueError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
     except ExplorationError as exc:
         print(f"harness error: {exc}", file=sys.stderr)
         return 2
-    print(f"workload: {args.workload}")
-    print(result.summary())
-    if result.violations:
-        report_violations(result, explorer, args.minimize)
-        if args.check:
-            return 1
+    if args.metrics:
+        dump_metrics(registry)
+    if args.json:
+        print_json(json_summary(args.workload, result))
+    else:
+        print(f"workload: {args.workload}")
+        print(result.summary())
+        if result.violations:
+            report_violations(result, explorer, args.minimize)
+    if result.violations and args.check:
+        return 1
     return 0
 
 
