@@ -78,6 +78,19 @@ def test_parallel_sweep_is_byte_identical_and_faster():
             f"parallel {parallel_wall:.2f}s")
 
 
+def test_traced_sweep_is_byte_identical_to_untraced():
+    # The standing gate for trace determinism under the parallel engine:
+    # a traced sharded sweep reports exactly what an untraced one does
+    # (modulo the explicit "tracing: enabled" banner).
+    argv = ("tools/crash_explore.py", "--workload", "fio",
+            "--budget", "10", "--check", "--jobs", str(CRASH_JOBS))
+    plain = run_script(*argv)
+    traced = run_script(*argv, "--trace")
+    assert plain.returncode == 0, plain.stdout + plain.stderr
+    assert traced.returncode == 0, traced.stdout + traced.stderr
+    assert traced.stdout.replace("tracing: enabled\n", "") == plain.stdout
+
+
 def test_seed_matrix_smoke():
     result = run_script("tools/crash_explore.py", "--workload", "fio",
                         "--budget", "8", "--seeds", "0-2", "--check",

@@ -103,6 +103,53 @@ def test_metrics_report_json_export():
     assert by_name["core.nvcache.writes"]["value"] > 0
 
 
+def test_metrics_report_traced_exemplars():
+    result = run_script("tools/metrics_report.py", "--size-mib", "1",
+                        "--trace")
+    assert result.returncode == 0, result.stderr
+    assert "p99 write latency exemplar" in result.stdout
+    assert "trace " in result.stdout
+
+
+def test_trace_report_summary():
+    result = run_script("tools/trace_report.py", "--size-mib", "0.5")
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "spans by name:" in out
+    assert "libc.pwrite" in out
+    assert "critical-path attribution" in out
+    assert "tail exemplars:" in out
+
+
+def test_trace_report_tree_and_export(tmp_path):
+    listing = run_script("tools/trace_report.py", "--size-mib", "0.25",
+                         "--list")
+    assert listing.returncode == 0, listing.stderr
+    first_trace = listing.stdout.split()[1]
+    tree = run_script("tools/trace_report.py", "--size-mib", "0.25",
+                      "--trace", first_trace)
+    assert tree.returncode == 0, tree.stderr
+
+    export_path = tmp_path / "trace.json"
+    export = run_script("tools/trace_report.py", "--size-mib", "0.25",
+                        "--export", str(export_path))
+    assert export.returncode == 0, export.stderr
+    with open(export_path) as handle:
+        events = json.load(handle)["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert {"M", "X", "s", "f"} <= phases  # metadata, spans, flow arrows
+
+
+def test_trace_report_json_summary():
+    result = run_script("tools/trace_report.py", "--size-mib", "0.25",
+                        "--json")
+    assert result.returncode == 0, result.stderr
+    summary = json.loads(result.stdout)
+    assert summary["spans"] > 0 and summary["dropped"] == 0
+    assert "libc.pwrite" in summary["spans_by_name"]
+    assert summary["attribution"]
+
+
 def test_metrics_report_dm_writecache():
     result = run_script("tools/metrics_report.py", "--system",
                         "dm-writecache+ssd", "--size-mib", "1")

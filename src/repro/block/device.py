@@ -166,78 +166,127 @@ class BlockDevice:
     def read(self, offset: int, nbytes: int) -> Generator:
         """Timed read; returns the bytes."""
         self._check(offset, nbytes)
-        yield self._lock.acquire()
+        tracer = self.env.tracer
+        token = None
+        if tracer is not None:
+            token = tracer.begin(self.env, "block", "read", device=self.name,
+                                 offset=offset, nbytes=nbytes)
+        queued = self.env.now
         try:
-            delay = self._read_service_time(offset, nbytes)
-            self._last_read_end = offset + nbytes
-            self.stats.reads += 1
-            self.stats.bytes_read += nbytes
-            self.stats.busy_time += delay
-            if self._m_read_latency is not None:
-                self._m_read_latency.observe(delay)
-            yield self.env.timeout(delay)
-            if self.env.tracer is not None:
-                self.env.tracer.add(self.env.now - delay, delay, self.name,
-                                    "read", self.name, offset=offset,
-                                    nbytes=nbytes)
-            return self._read_raw(offset, nbytes)
+            yield self._lock.acquire()
+            try:
+                delay = self._read_service_time(offset, nbytes)
+                self._last_read_end = offset + nbytes
+                self.stats.reads += 1
+                self.stats.bytes_read += nbytes
+                self.stats.busy_time += delay
+                if tracer is not None:
+                    tracer.charge(self.env, "block", "queue_wait",
+                                  self.env.now - queued)
+                    tracer.charge(self.env, "block", "read_service", delay)
+                if self._m_read_latency is not None:
+                    self._m_read_latency.observe(
+                        delay, trace_id=tracer.current_trace_id(self.env)
+                        if tracer is not None else None)
+                yield self.env.timeout(delay)
+                if tracer is not None:
+                    tracer.add(self.env.now - delay, delay, self.name,
+                               "read", self.name, offset=offset,
+                               nbytes=nbytes)
+                return self._read_raw(offset, nbytes)
+            finally:
+                self._lock.release()
         finally:
-            self._lock.release()
+            if token is not None:
+                tracer.end(self.env, token)
 
     def write(self, offset: int, data: bytes) -> Generator:
         """Timed write into the device cache (volatile until flush)."""
         self._check(offset, len(data))
-        yield self._lock.acquire()
+        tracer = self.env.tracer
+        token = None
+        if tracer is not None:
+            token = tracer.begin(self.env, "block", "write", device=self.name,
+                                 offset=offset, nbytes=len(data))
+        queued = self.env.now
         try:
-            delay = self._write_service_time(offset, len(data))
-            self._last_write_end = offset + len(data)
-            self.stats.writes += 1
-            self.stats.bytes_written += len(data)
-            self.stats.busy_time += delay
-            if self._m_write_latency is not None:
-                self._m_write_latency.observe(delay)
-            yield self.env.timeout(delay)
-            if self.env.tracer is not None:
-                self.env.tracer.add(self.env.now - delay, delay, self.name,
-                                    "write", self.name, offset=offset,
-                                    nbytes=len(data))
-            if self.fault_injector is not None:
-                # May raise KernelError(EIO); a torn write lands a prefix
-                # of the data in the cache before raising.
-                self.fault_injector.on_write(self, offset, data)
-            self._write_raw(offset, data)
-            recorder = self.env.crash_points
-            if recorder is not None:
-                recorder.hit("block.write_completed",
-                             f"{self.name}+{offset}:{len(data)}")
+            yield self._lock.acquire()
+            try:
+                delay = self._write_service_time(offset, len(data))
+                self._last_write_end = offset + len(data)
+                self.stats.writes += 1
+                self.stats.bytes_written += len(data)
+                self.stats.busy_time += delay
+                if tracer is not None:
+                    tracer.charge(self.env, "block", "queue_wait",
+                                  self.env.now - queued)
+                    tracer.charge(self.env, "block", "write_service", delay)
+                if self._m_write_latency is not None:
+                    self._m_write_latency.observe(
+                        delay, trace_id=tracer.current_trace_id(self.env)
+                        if tracer is not None else None)
+                yield self.env.timeout(delay)
+                if tracer is not None:
+                    tracer.add(self.env.now - delay, delay, self.name,
+                               "write", self.name, offset=offset,
+                               nbytes=len(data))
+                if self.fault_injector is not None:
+                    # May raise KernelError(EIO); a torn write lands a prefix
+                    # of the data in the cache before raising.
+                    self.fault_injector.on_write(self, offset, data)
+                self._write_raw(offset, data)
+                recorder = self.env.crash_points
+                if recorder is not None:
+                    recorder.hit("block.write_completed",
+                                 f"{self.name}+{offset}:{len(data)}")
+            finally:
+                self._lock.release()
         finally:
-            self._lock.release()
+            if token is not None:
+                tracer.end(self.env, token)
 
     def flush(self) -> Generator:
         """Write barrier: device cache becomes durable."""
-        yield self._lock.acquire()
+        tracer = self.env.tracer
+        token = None
+        if tracer is not None:
+            token = tracer.begin(self.env, "block", "flush", device=self.name)
+        queued = self.env.now
         try:
-            self.stats.flushes += 1
-            self.stats.busy_time += self.timing.flush_latency
-            if self._m_flush_latency is not None:
-                self._m_flush_latency.observe(self.timing.flush_latency)
-            yield self.env.timeout(self.timing.flush_latency)
-            if self.env.tracer is not None:
-                self.env.tracer.add(self.env.now - self.timing.flush_latency,
-                                    self.timing.flush_latency, self.name,
-                                    "flush", self.name)
-            if self.fault_injector is not None \
-                    and self.fault_injector.on_flush(self):
-                # Dropped barrier: the device acknowledges the flush but
-                # keeps the cache volatile (a lying drive).
-                return
-            self._durable.update(self._cache)
-            self._cache.clear()
-            recorder = self.env.crash_points
-            if recorder is not None:
-                recorder.hit("block.flush_completed", self.name)
+            yield self._lock.acquire()
+            try:
+                self.stats.flushes += 1
+                self.stats.busy_time += self.timing.flush_latency
+                if tracer is not None:
+                    tracer.charge(self.env, "block", "queue_wait",
+                                  self.env.now - queued)
+                    tracer.charge(self.env, "block", "flush_service",
+                                  self.timing.flush_latency)
+                if self._m_flush_latency is not None:
+                    self._m_flush_latency.observe(
+                        self.timing.flush_latency,
+                        trace_id=tracer.current_trace_id(self.env)
+                        if tracer is not None else None)
+                yield self.env.timeout(self.timing.flush_latency)
+                if tracer is not None:
+                    tracer.add(self.env.now - self.timing.flush_latency,
+                               self.timing.flush_latency, self.name,
+                               "flush", self.name)
+                if self.fault_injector is not None \
+                        and self.fault_injector.on_flush(self):
+                    # Dropped barrier: the device acknowledges the flush but
+                    # keeps the cache volatile (a lying drive).
+                    return
+                self._durable.update(self._cache)
+                self._cache.clear()
+                recorder = self.env.crash_points
+                if recorder is not None:
+                    recorder.hit("block.flush_completed", self.name)
+            finally:
+                self._lock.release()
         finally:
-            self._lock.release()
+            if token is not None:
+                tracer.end(self.env, token)
 
     # -- crash simulation --------------------------------------------------------
 

@@ -177,6 +177,16 @@ class CleanupThread:
         if not batch:
             yield self.env.timeout(0.0)
             return 0
+        tracer = self.env.tracer
+        batch_token = None
+        if tracer is not None:
+            # The drain batch is its own root (the cleanup thread's
+            # process); retired entries link it back to the traces of the
+            # originating writes (flow arrows in the Perfetto export).
+            batch_token = tracer.begin(self.env, "core", "drain_batch",
+                                       entries=len(batch))
+            for seq in batch:
+                tracer.link_entry(batch_token, seq)
         touched_fds = set()
         page_size = self.config.page_size
         completed = []
@@ -246,10 +256,12 @@ class CleanupThread:
             # remembered so the retry does not double-pop them.
             self._propagated.update(completed)
             self.stats.cleanup_batch_aborts += 1
-            if self.env.tracer is not None:
-                self.env.tracer.add(self.env.now, 0.0, "nvcache",
-                                    "batch-abort", "cleanup",
-                                    entries=len(batch))
+            if tracer is not None:
+                tracer.add(self.env.now, 0.0, "nvcache",
+                           "batch-abort", "cleanup",
+                           entries=len(batch))
+                tracer.end(self.env, batch_token, status="aborted")
+                batch_token = None
             return 0
         yield from self.log.clear_entries(batch)
         self.log.advance_volatile_tail(batch[-1] + 1)
@@ -262,10 +274,13 @@ class CleanupThread:
                          f"{len(batch)} entries, tail {batch[-1] + 1}")
         if self._m_batch_size is not None:
             self._m_batch_size.observe(len(batch))
-        if self.env.tracer is not None:
-            self.env.tracer.add(self.env.now, 0.0, "nvcache", "batch",
-                                "cleanup", entries=len(batch),
-                                log_used=self.log.used())
+        if tracer is not None:
+            tracer.add(self.env.now, 0.0, "nvcache", "batch",
+                       "cleanup", entries=len(batch),
+                       log_used=self.log.used())
+            tracer.end(self.env, batch_token, status="retired",
+                       log_used=self.log.used())
+            batch_token = None
         # Kernel-close application-closed fds whose entries are all retired.
         if self.finalize_fd is not None:
             for fd in sorted(self.tables.deferred_close):

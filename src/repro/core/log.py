@@ -148,6 +148,7 @@ class NvmmLog:
                 f"write needs {count} entries but the log only has "
                 f"{self.entries}; enlarge the log or the entry size")
         first_wait = True
+        wait_began = self.env.now
         while self.used() + count > self.entries:
             if first_wait:
                 self.stats.log_full_waits += 1
@@ -155,6 +156,9 @@ class NvmmLog:
             waiter = Waitable(self.env)
             self._space_waiters.append(waiter)
             yield waiter
+        if not first_wait and self.env.tracer is not None:
+            self.env.tracer.charge(self.env, "core", "log_full_wait",
+                                   self.env.now - wait_began)
         seq = self.head
         self.head += count
         self.stats.entries_created += count
@@ -184,6 +188,10 @@ class NvmmLog:
         if recorder is not None:
             recorder.hit("core.log.entry_filled", f"seq {seq} fd {fd}")
         # Bandwidth cost of moving payload+header towards NVMM.
+        if self.env.tracer is not None:
+            self.env.tracer.charge(
+                self.env, "nvmm", "store",
+                self.nvmm.timing.store_cost(HEADER_SIZE + len(data)))
         yield self.env.timeout(self.nvmm.timing.store_cost(HEADER_SIZE + len(data)))
 
     def commit_leader(self, seq: int) -> Generator:
@@ -295,6 +303,8 @@ class NvmmLog:
         recorder = self.env.crash_points
         if recorder is not None:
             recorder.hit("core.log.cleared", f"tail {new_tail}")
+        if self.env.tracer is not None:
+            self.env.tracer.charge(self.env, "core", "retire", 0.2 * US)
         yield self.env.timeout(0.2 * US)
 
     def advance_volatile_tail(self, new_tail: int) -> None:

@@ -267,10 +267,16 @@ class Nvcache:
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         began = self.env.now
+        tracer = self.env.tracer
 
         # Split into fixed-size entries (contiguous group allocation).
         chunk_size = config.entry_data_size
         chunk_count = (len(data) + chunk_size - 1) // chunk_size
+        append_token = None
+        if tracer is not None:
+            append_token = tracer.begin(self.env, "core", "log_append",
+                                        fd=fd, offset=offset,
+                                        nbytes=len(data), entries=chunk_count)
         leader_seq = yield from self.log.next_entries(chunk_count)
         if chunk_count > 1:
             self.stats.group_writes += 1
@@ -280,9 +286,15 @@ class Nvcache:
         last_page = (offset + len(data) - 1) // page_size
         descriptors = [nv_file.descriptor_or_create(page)
                        for page in range(first_page, last_page + 1)]
+        lock_began = self.env.now
         for descriptor in descriptors:
             yield descriptor.atomic_lock.acquire()
         try:
+            if tracer is not None:
+                tracer.charge(self.env, "core", "lock_wait",
+                              self.env.now - lock_began)
+                tracer.charge(self.env, "core", "write_overhead",
+                              config.write_op_overhead)
             yield self.env.timeout(config.write_op_overhead)
             # Fill every entry (uncommitted for now).
             for i in range(chunk_count):
@@ -290,6 +302,11 @@ class Nvcache:
                 yield from self.log.fill_entry(
                     leader_seq + i, fd, offset + i * chunk_size, chunk,
                     leader_seq=None if i == 0 else leader_seq)
+            if tracer is not None:
+                tracer.end(self.env, append_token, leader_seq=leader_seq)
+                append_token = None
+                for i in range(chunk_count):
+                    tracer.bind_entry(self.env, leader_seq + i)
 
             # Dirty counters + the volatile pending index per page.
             # Registered BEFORE the commit: the cleanup thread only
@@ -308,7 +325,15 @@ class Nvcache:
                 nv_file.pending_entries += 1
                 self.tables.pending_by_fd[fd] = \
                     self.tables.pending_by_fd.get(fd, 0) + 1
-            yield from self.log.commit_leader(leader_seq)
+            commit_token = None
+            if tracer is not None:
+                commit_token = tracer.begin(self.env, "core", "commit",
+                                            leader_seq=leader_seq)
+            try:
+                yield from self.log.commit_leader(leader_seq)
+            finally:
+                if commit_token is not None:
+                    tracer.end(self.env, commit_token)
 
             # Update any loaded page contents so reads stay coherent.
             for descriptor in descriptors:
@@ -320,12 +345,17 @@ class Nvcache:
         finally:
             for descriptor in descriptors:
                 descriptor.atomic_lock.release()
+            if append_token is not None:
+                tracer.end(self.env, append_token)
         if self._m_write_latency is not None:
-            self._m_write_latency.observe(self.env.now - began)
-        if self.env.tracer is not None:
-            self.env.tracer.add(self.env.now, 0.0, self.name, "pwrite",
-                                "app", fd=fd, offset=offset,
-                                nbytes=len(data), entries=chunk_count)
+            self._m_write_latency.observe(
+                self.env.now - began,
+                trace_id=tracer.current_trace_id(self.env)
+                if tracer is not None else None)
+        if tracer is not None:
+            tracer.add(self.env.now, 0.0, self.name, "pwrite",
+                       "app", fd=fd, offset=offset,
+                       nbytes=len(data), entries=chunk_count)
         return len(data)
 
     def _apply_to_content(self, descriptor: PageDescriptor, offset: int,
@@ -362,6 +392,7 @@ class Nvcache:
             return b""
         nbytes = min(nbytes, nv_file.size - offset)
         began = self.env.now
+        tracer = self.env.tracer
         if nv_file.radix is None:
             # Read-only file: the kernel page cache is authoritative and
             # NVCache stays entirely out of the way (paper §II-A).
@@ -369,7 +400,10 @@ class Nvcache:
             data = yield from self.kernel.pread(fd, nbytes, offset)
             self.stats.bytes_read += len(data)
             if self._m_read_latency is not None:
-                self._m_read_latency.observe(self.env.now - began)
+                self._m_read_latency.observe(
+                    self.env.now - began,
+                    trace_id=tracer.current_trace_id(self.env)
+                    if tracer is not None else None)
             return data
 
         page_size = self.config.page_size
@@ -380,14 +414,40 @@ class Nvcache:
             page, in_page = divmod(position, page_size)
             chunk = min(end - position, page_size - in_page)
             descriptor = nv_file.descriptor_or_create(page)
+            lock_began = self.env.now
             yield descriptor.atomic_lock.acquire()
             try:
+                if tracer is not None:
+                    tracer.charge(self.env, "core", "lock_wait",
+                                  self.env.now - lock_began)
                 if descriptor.content is None:
-                    yield from self._load_page(handle, descriptor)
-                    yield self.env.timeout(self.config.read_miss_overhead)
+                    token = None
+                    if tracer is not None:
+                        token = tracer.begin(self.env, "core", "read_miss",
+                                             fd=fd, page=page)
+                    try:
+                        yield from self._load_page(handle, descriptor)
+                        if tracer is not None:
+                            tracer.charge(self.env, "core", "read_overhead",
+                                          self.config.read_miss_overhead)
+                        yield self.env.timeout(self.config.read_miss_overhead)
+                    finally:
+                        if token is not None:
+                            tracer.end(self.env, token)
                 else:
                     self.stats.read_hits += 1
-                    yield self.env.timeout(self.config.read_hit_overhead)
+                    token = None
+                    if tracer is not None:
+                        token = tracer.begin(self.env, "core", "read_hit",
+                                             fd=fd, page=page)
+                    try:
+                        if tracer is not None:
+                            tracer.charge(self.env, "core", "read_overhead",
+                                          self.config.read_hit_overhead)
+                        yield self.env.timeout(self.config.read_hit_overhead)
+                    finally:
+                        if token is not None:
+                            tracer.end(self.env, token)
                 descriptor.accessed = True
                 out += descriptor.content.data[in_page:in_page + chunk]
             finally:
@@ -395,7 +455,10 @@ class Nvcache:
             position += chunk
         self.stats.bytes_read += len(out)
         if self._m_read_latency is not None:
-            self._m_read_latency.observe(self.env.now - began)
+            self._m_read_latency.observe(
+                self.env.now - began,
+                trace_id=tracer.current_trace_id(self.env)
+                if tracer is not None else None)
         return bytes(out)
 
     def _load_page(self, handle: NvOpenFile, descriptor: PageDescriptor) -> Generator:

@@ -22,6 +22,7 @@ from ..kernel.errno import ENOSPC, KernelError
 from ..kernel.inode import Inode
 from ..kernel.page_cache import PAGE_SIZE
 from ..sim import Environment
+from ..sim.trace import traced
 from ..units import MIB
 from .base import Filesystem
 
@@ -132,9 +133,13 @@ class Ext4(Filesystem):
             block = self._allocate_block()
             blocks[index] = block
             self._pending_journal += 1  # extent metadata change
+        if self.env.tracer is not None:
+            self.env.tracer.charge(self.env, "fs", "block_request",
+                                   self.cpu.block_request)
         yield self.env.timeout(self.cpu.block_request)
         yield from self.device.write(block * PAGE_SIZE, data)
 
+    @traced("fs", "journal_commit")
     def commit(self, inode: Optional[Inode] = None) -> Generator:
         """fsync barrier. With pending metadata (block allocations,
         truncates) this is a full jbd2 commit: descriptor+commit record
@@ -143,9 +148,13 @@ class Ext4(Filesystem):
         overwrite-heavy synchronous workload on a *fast* device
         (dm-writecache) is so much cheaper than one that allocates."""
         began = self.env.now
+        tracer = self.env.tracer
         if self._pending_journal:
             if self._m_journal_commits is not None:
                 self._m_journal_commits.inc()
+            if tracer is not None:
+                tracer.charge(self.env, "fs", "journal_cpu",
+                              self.cpu.journal_commit)
             yield self.env.timeout(self.cpu.journal_commit)
             record = b"JBD2" + bytes(PAGE_SIZE - 4)
             offset = self.journal_base + (
@@ -160,6 +169,9 @@ class Ext4(Filesystem):
         else:
             if self._m_fast_commits is not None:
                 self._m_fast_commits.inc()
+            if tracer is not None:
+                tracer.charge(self.env, "fs", "journal_cpu",
+                              self.cpu.journal_commit / 8)
             yield self.env.timeout(self.cpu.journal_commit / 8)
             kind = "fast"
         yield from self.device.flush()
@@ -167,7 +179,10 @@ class Ext4(Filesystem):
         if recorder is not None:
             recorder.hit("fs.ext4.journal_commit", kind)
         if self._m_commit_latency is not None:
-            self._m_commit_latency.observe(self.env.now - began)
+            trace_id = (tracer.current_trace_id(self.env)
+                        if tracer is not None else None)
+            self._m_commit_latency.observe(self.env.now - began,
+                                           trace_id=trace_id)
 
     def sync(self) -> Generator:
         yield from self.commit()

@@ -19,7 +19,7 @@ from ..kernel import Kernel
 from ..libc import Libc, NvcacheLibc
 from ..nvmm import NvmmDevice
 from ..obs import MetricsRegistry
-from ..sim import Environment
+from ..sim import Environment, Tracer
 from ..units import GIB, KIB
 
 SYSTEM_NAMES = (
@@ -151,6 +151,9 @@ class StorageStack:
     #: Populated when built with ``metrics=True`` (see repro.obs); every
     #: layer of the stack self-registers its counters/gauges/histograms.
     metrics: Optional[MetricsRegistry] = None
+    #: Populated when built with ``tracing=True``: the request tracer
+    #: attached to ``env.tracer`` (spans, flat events, exemplars).
+    tracer: Optional[Tracer] = None
 
     def settle(self) -> Generator:
         """Quiesce after a layout phase: drain NVCache / sync the kernel."""
@@ -173,19 +176,36 @@ class StorageStack:
 def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                 config: Optional[NvcacheConfig] = None,
                 ssd_size: int = 8 * GIB,
-                metrics: bool = False) -> StorageStack:
+                metrics: bool = False,
+                tracing: bool = False,
+                trace_sample_rate: float = 1.0,
+                trace_seed: int = 0,
+                trace_capacity: int = 200_000) -> StorageStack:
     """Construct one of the seven evaluated stacks.
 
     With ``metrics=True`` a :class:`~repro.obs.MetricsRegistry` is
     attached to the environment before any component is built, so every
     layer (devices, page cache, filesystems, NVCache) self-registers its
     metrics; the registry is returned on ``StorageStack.metrics``.
+
+    With ``tracing=True`` a :class:`~repro.sim.Tracer` is attached to the
+    environment (returned on ``StorageStack.tracer``): every request
+    records a causal span tree with critical-path segments, head-sampled
+    at ``trace_sample_rate`` using ``trace_seed``. Tracing never changes
+    simulated results (pinned by ``tests/obs/test_tracing.py``).
     """
     env = Environment()
     registry = None
     if metrics:
         registry = MetricsRegistry()
         env.metrics = registry
+    tracer = None
+    if tracing:
+        tracer = Tracer(capacity=trace_capacity,
+                        sample_rate=trace_sample_rate, seed=trace_seed)
+        env.tracer = tracer
+        if registry is not None:
+            tracer.register_metrics(registry)
     kernel = Kernel(env)
     devices: Dict[str, object] = {}
 
@@ -194,26 +214,26 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         kernel.mount("/", Ext4(env, ssd))
         devices["ssd"] = ssd
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     if name == "tmpfs":
         kernel.mount("/", Tmpfs(env))
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     if name == "ext4-dax":
         nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
         kernel.mount("/", Ext4Dax(env, nvmm))
         devices["nvmm"] = nvmm
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     if name == "nova":
         nvmm = NvmmDevice(env, size=scale.nvmm_module_bytes, name="pmem0")
         kernel.mount("/", Nova(env, nvmm))
         devices["nvmm"] = nvmm
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     if name == "dm-writecache+ssd":
         ssd = SsdDevice(env, size=ssd_size)
@@ -222,7 +242,7 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         devices["ssd"] = ssd
         devices["dm"] = dm
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     if name in ("nvcache+ssd", "nvcache+nova"):
         if name == "nvcache+ssd":
@@ -240,6 +260,6 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
         devices["log_nvmm"] = log_nvmm
         return StorageStack(name, env, kernel, NvcacheLibc(nvcache),
                             nvcache=nvcache, devices=devices,
-                            metrics=registry)
+                            metrics=registry, tracer=tracer)
 
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Set, Tuple
 
 from ..sim import Environment, Lock
+from ..sim.trace import traced
 from .costs import CpuCosts, DEFAULT_CPU
 from .inode import Inode
 
@@ -92,6 +93,11 @@ class PageCache:
                 fn=lambda: self.capacity_pages)
 
     # -- helpers -------------------------------------------------------------
+
+    def _charge(self, segment: str, amount: float) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.charge(self.env, "kernel", segment, amount)
 
     @staticmethod
     def _inode_key(filesystem, inode: Inode) -> Tuple[int, int]:
@@ -169,6 +175,7 @@ class PageCache:
         """Read through the cache. Returns up to ``nbytes`` bytes, clipped
         at the inode's current size."""
         if offset >= inode.size:
+            self._charge("page_cache_lookup", self.cpu.page_cache_lookup)
             yield self.env.timeout(self.cpu.page_cache_lookup)
             return b""
         nbytes = min(nbytes, inode.size - offset)
@@ -183,6 +190,7 @@ class PageCache:
                 index, in_page = divmod(pos, PAGE_SIZE)
                 chunk = min(end - pos, PAGE_SIZE - in_page)
                 key = (id(filesystem), inode.number, index)
+                self._charge("page_cache_lookup", self.cpu.page_cache_lookup)
                 yield self.env.timeout(self.cpu.page_cache_lookup)
                 page = self._pages.get(key)
                 if page is None:
@@ -197,6 +205,7 @@ class PageCache:
                 out += page.data[in_page:in_page + chunk]
                 pos += chunk
             # copy_to_user
+            self._charge("copy", self.cpu.copy_cost(len(out)))
             yield self.env.timeout(self.cpu.copy_cost(len(out)))
             return bytes(out)
         finally:
@@ -214,6 +223,7 @@ class PageCache:
                 index, in_page = divmod(absolute, PAGE_SIZE)
                 chunk = min(len(data) - pos, PAGE_SIZE - in_page)
                 key = (id(filesystem), inode.number, index)
+                self._charge("page_cache_lookup", self.cpu.page_cache_lookup)
                 yield self.env.timeout(self.cpu.page_cache_lookup)
                 page = self._pages.get(key)
                 if page is None:
@@ -237,6 +247,7 @@ class PageCache:
                 yield from self._evict_if_needed()
                 pos += chunk
             # copy_from_user
+            self._charge("copy", self.cpu.copy_cost(len(data)))
             yield self.env.timeout(self.cpu.copy_cost(len(data)))
             if offset + len(data) > inode.size:
                 inode.size = offset + len(data)
@@ -261,6 +272,7 @@ class PageCache:
             lock.release()
         yield from filesystem.commit(inode)
 
+    @traced("kernel", "writeback")
     def writeback_pass(self, min_age: float = 0.0) -> Generator:
         """Background flusher: clean dirty pages older than ``min_age``.
 

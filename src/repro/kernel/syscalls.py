@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..sim import Environment
+from ..sim.trace import traced
 from .costs import CpuCosts, DEFAULT_CPU
 from .errno import (
     EBADF,
@@ -56,6 +57,9 @@ class Kernel:
         self.vfs.mount(mountpoint, filesystem)
 
     def _syscall(self) -> Generator:
+        if self.env.tracer is not None:
+            self.env.tracer.charge(self.env, "kernel", "syscall",
+                                   self.cpu.syscall)
         yield self.env.timeout(self.cpu.syscall)
 
     # -- open/close -------------------------------------------------------------
@@ -87,15 +91,20 @@ class Kernel:
 
     # -- read/write -------------------------------------------------------------
 
+    @traced("kernel", "read")
     def _do_read(self, open_file: OpenFile, offset: int, nbytes: int) -> Generator:
         filesystem, inode = open_file.filesystem, open_file.inode
         if filesystem.uses_page_cache and not open_file.direct:
             data = yield from self.page_cache.read(filesystem, inode, offset, nbytes)
         else:
             data = yield from filesystem.direct_read(inode, offset, nbytes)
+            if self.env.tracer is not None:
+                self.env.tracer.charge(self.env, "kernel", "copy",
+                                       self.cpu.copy_cost(len(data)))
             yield self.env.timeout(self.cpu.copy_cost(len(data)))
         return data
 
+    @traced("kernel", "write")
     def _do_write(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
         filesystem, inode = open_file.filesystem, open_file.inode
         if filesystem.uses_page_cache and not open_file.direct:
@@ -103,12 +112,16 @@ class Kernel:
         else:
             if open_file.direct and filesystem.uses_page_cache:
                 self.page_cache.invalidate(filesystem, inode)
+            if self.env.tracer is not None:
+                self.env.tracer.charge(self.env, "kernel", "copy",
+                                       self.cpu.copy_cost(len(data)))
             yield self.env.timeout(self.cpu.copy_cost(len(data)))
             yield from filesystem.direct_write(inode, offset, data)
         if open_file.sync:
             yield from self._fsync_inode(open_file)
         return len(data)
 
+    @traced("kernel", "fsync")
     def _fsync_inode(self, open_file: OpenFile) -> Generator:
         filesystem, inode = open_file.filesystem, open_file.inode
         if filesystem.uses_page_cache:
@@ -237,6 +250,7 @@ class Kernel:
         result = yield from self.fsync(fd)
         return result
 
+    @traced("kernel", "sync")
     def sync(self) -> Generator:
         yield from self._syscall()
         yield from self.page_cache.writeback_pass()
@@ -244,6 +258,7 @@ class Kernel:
             yield from filesystem.sync()
         return 0
 
+    @traced("kernel", "syncfs")
     def syncfs(self, fd: int) -> Generator:
         yield from self._syscall()
         open_file = self.fds.get(fd)

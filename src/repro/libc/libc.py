@@ -19,10 +19,17 @@ from typing import Generator
 
 from ..kernel import Kernel
 from ..kernel.fd_table import SEEK_SET
+from ..sim.trace import traced
 
 
 class Libc:
-    """Stock libc: thin syscall wrappers."""
+    """Stock libc: thin syscall wrappers.
+
+    The I/O entry points are ``traced``: when the environment carries a
+    tracer, each call opens the *root span* of a request's causal tree
+    (``libc.pwrite``, ``libc.fsync``, ...) — this is where end-to-end
+    latency attribution starts.
+    """
 
     def __init__(self, kernel: Kernel):
         self.kernel = kernel
@@ -30,26 +37,32 @@ class Libc:
 
     # -- unbuffered I/O ----------------------------------------------------
 
+    @traced("libc", "open")
     def open(self, path: str, flags: int = 0, mode: int = 0o644) -> Generator:
         fd = yield from self.kernel.open(path, flags, mode)
         return fd
 
+    @traced("libc", "close")
     def close(self, fd: int) -> Generator:
         result = yield from self.kernel.close(fd)
         return result
 
+    @traced("libc", "read")
     def read(self, fd: int, nbytes: int) -> Generator:
         data = yield from self.kernel.read(fd, nbytes)
         return data
 
+    @traced("libc", "write")
     def write(self, fd: int, data: bytes) -> Generator:
         written = yield from self.kernel.write(fd, data)
         return written
 
+    @traced("libc", "pread")
     def pread(self, fd: int, nbytes: int, offset: int) -> Generator:
         data = yield from self.kernel.pread(fd, nbytes, offset)
         return data
 
+    @traced("libc", "pwrite")
     def pwrite(self, fd: int, data: bytes, offset: int) -> Generator:
         written = yield from self.kernel.pwrite(fd, data, offset)
         return written
@@ -58,14 +71,17 @@ class Libc:
         position = yield from self.kernel.lseek(fd, offset, whence)
         return position
 
+    @traced("libc", "fsync")
     def fsync(self, fd: int) -> Generator:
         result = yield from self.kernel.fsync(fd)
         return result
 
+    @traced("libc", "fdatasync")
     def fdatasync(self, fd: int) -> Generator:
         result = yield from self.kernel.fdatasync(fd)
         return result
 
+    @traced("libc", "sync")
     def sync(self) -> Generator:
         result = yield from self.kernel.sync()
         return result
@@ -113,26 +129,32 @@ class NvcacheLibc(Libc):
         super().__init__(nvcache.kernel)
         self.nvcache = nvcache
 
+    @traced("libc", "open")
     def open(self, path, flags=0, mode=0o644):
         fd = yield from self.nvcache.open(path, flags, mode)
         return fd
 
+    @traced("libc", "close")
     def close(self, fd):
         result = yield from self.nvcache.close(fd)
         return result
 
+    @traced("libc", "read")
     def read(self, fd, nbytes):
         data = yield from self.nvcache.read(fd, nbytes)
         return data
 
+    @traced("libc", "write")
     def write(self, fd, data):
         written = yield from self.nvcache.write(fd, data)
         return written
 
+    @traced("libc", "pread")
     def pread(self, fd, nbytes, offset):
         data = yield from self.nvcache.pread(fd, nbytes, offset)
         return data
 
+    @traced("libc", "pwrite")
     def pwrite(self, fd, data, offset):
         written = yield from self.nvcache.pwrite(fd, data, offset)
         return written
@@ -141,14 +163,17 @@ class NvcacheLibc(Libc):
         position = yield from self.nvcache.lseek(fd, offset, whence)
         return position
 
+    @traced("libc", "fsync")
     def fsync(self, fd):
         result = yield from self.nvcache.fsync(fd)
         return result
 
+    @traced("libc", "fdatasync")
     def fdatasync(self, fd):
         result = yield from self.nvcache.fdatasync(fd)
         return result
 
+    @traced("libc", "sync")
     def sync(self):
         result = yield from self.nvcache.sync()
         return result

@@ -111,7 +111,8 @@ class Histogram(Metric):
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max",
+                 "exemplars")
 
     def __init__(self, name: str, unit: str = "s", help: str = "",
                  start: float = 1e-7, factor: float = 2.0, buckets: int = 40):
@@ -125,11 +126,17 @@ class Histogram(Metric):
         self.sum = 0.0
         self.min = float("inf")
         self.max = 0.0
+        # Tail-latency exemplars: bucket index -> (trace_id, value) of the
+        # latest traced sample landing there (see exemplar_near).
+        self.exemplars: Dict[int, tuple] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[int] = None) -> None:
         if value < 0:
             raise ValueError(f"histogram {self.name!r}: negative value {value}")
-        self.counts[bisect_left(self.bounds, value)] += 1
+        bucket = bisect_left(self.bounds, value)
+        self.counts[bucket] += 1
+        if trace_id is not None:
+            self.exemplars[bucket] = (trace_id, value)
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -174,6 +181,28 @@ class Histogram(Metric):
     def percentiles(self) -> Dict[str, float]:
         return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),
                 "p99": self.quantile(0.99)}
+
+    def exemplar_near(self, q: float) -> Optional[tuple]:
+        """The ``(trace_id, value)`` exemplar closest to the q-quantile:
+        the quantile-crossing bucket's exemplar if present, else the
+        nearest recorded bucket above it, else the nearest below.
+        ``None`` when no traced samples were observed."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1]")
+        if not self.exemplars:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        crossing = len(self.counts) - 1
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if bucket_count and cumulative >= rank:
+                crossing = index
+                break
+        above = [i for i in self.exemplars if i >= crossing]
+        if above:
+            return self.exemplars[min(above)]
+        return self.exemplars[max(self.exemplars)]
 
 
 class MetricsRegistry:

@@ -27,7 +27,7 @@ passed in.
 
 from .engine import (PoolUnavailable, ShardEngine, Task, TaskResult,
                      register_engine_metrics)
-from .crash import SweepSpec, parallel_explore, seed_matrix
+from .crash import SweepSpec, make_explorer, parallel_explore, seed_matrix
 
 __all__ = [
     "PoolUnavailable",
@@ -35,6 +35,7 @@ __all__ = [
     "SweepSpec",
     "Task",
     "TaskResult",
+    "make_explorer",
     "parallel_explore",
     "register_engine_metrics",
     "seed_matrix",

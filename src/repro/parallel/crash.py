@@ -43,6 +43,10 @@ class SweepSpec:
     budget: Optional[int] = None
     subsets: int = 1
     seed: int = 0
+    #: Attach a Tracer to every rebuilt run. Tracing is guaranteed not
+    #: to change simulated results, so traced and untraced sweeps (and
+    #: sequential vs. sharded traced sweeps) produce identical reports.
+    trace: bool = False
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -53,6 +57,15 @@ class SweepSpec:
 def make_explorer(spec: SweepSpec) -> CrashExplorer:
     maker = WORKLOADS[spec.workload]
     factory = maker() if spec.ops is None else maker(spec.ops)
+    if spec.trace:
+        from ..sim import Tracer
+
+        def traced_factory(inner=factory):
+            run = inner()
+            run.env.tracer = Tracer()
+            return run
+
+        factory = traced_factory
     return CrashExplorer(factory, budget=spec.budget,
                          drop_subsets=spec.subsets, seed=spec.seed)
 
@@ -158,7 +171,8 @@ def seed_matrix(spec: SweepSpec, seeds: Sequence[int],
     tasks = []
     for seed in sorted(set(seeds)):
         cell = SweepSpec(workload=spec.workload, ops=spec.ops,
-                         budget=spec.budget, subsets=spec.subsets, seed=seed)
+                         budget=spec.budget, subsets=spec.subsets, seed=seed,
+                         trace=spec.trace)
         tasks.append(Task(key=(seed,), fn="repro.parallel.crash:run_seed_cell",
                           args=(asdict(cell),), timeout=cell_timeout))
     outcomes = engine.run(tasks)

@@ -10,7 +10,7 @@ from .core import (
 )
 from .rng import DeterministicRandom, shuffled, zipf_ranks
 from .sync import Condition, Event, Lock, Queue, Semaphore
-from .trace import TraceEvent, Tracer
+from .trace import SEGMENT_NAMES, SPAN_NAMES, Span, TraceEvent, Tracer, traced
 
 __all__ = [
     "Environment",
@@ -26,6 +26,10 @@ __all__ = [
     "Queue",
     "Tracer",
     "TraceEvent",
+    "Span",
+    "SPAN_NAMES",
+    "SEGMENT_NAMES",
+    "traced",
     "DeterministicRandom",
     "zipf_ranks",
     "shuffled",

@@ -144,6 +144,7 @@ class Process(Waitable):
     def _step(self, value: Any, exception: Optional[BaseException]) -> None:
         if not self._alive:
             return
+        self.env.active_process = self
         try:
             if exception is not None:
                 target = self._generator.throw(exception)
@@ -192,8 +193,8 @@ class Environment:
     timed callbacks."""
 
     __slots__ = ("now", "tracer", "metrics", "crash_points",
-                 "events_dispatched", "_heap", "_lane", "_sequence",
-                 "_stop_requested", "_crashed_process")
+                 "active_process", "events_dispatched", "_heap", "_lane",
+                 "_sequence", "_stop_requested", "_crashed_process")
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
@@ -207,6 +208,10 @@ class Environment:
         # one ``is not None`` check when unused and never touches the
         # simulated clock.
         self.crash_points = None
+        # The Process whose generator is currently being stepped (None
+        # outside a step). The tracer keys per-process span stacks off
+        # it so trace context propagates without argument threading.
+        self.active_process = None
         # Callbacks dispatched so far (read by the perf harness).
         self.events_dispatched = 0
         self._heap: List[_Entry] = []

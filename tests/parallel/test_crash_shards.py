@@ -94,6 +94,30 @@ def test_cli_json_is_byte_identical_across_jobs():
     assert summary["violations"] == 0
 
 
+def test_cli_traced_report_is_byte_identical_across_jobs():
+    # Tracing must not perturb the sweep: the sharded traced report is
+    # byte-identical to the sequential traced report.
+    one = run_cli("--workload", "fio", "--budget", "8", "--jobs", "1",
+                  "--trace", "--check")
+    four = run_cli("--workload", "fio", "--budget", "8", "--jobs", "4",
+                   "--trace", "--check")
+    assert one.returncode == 0, one.stdout + one.stderr
+    assert four.returncode == 0, four.stdout + four.stderr
+    assert one.stdout == four.stdout
+    assert "tracing: enabled" in one.stdout
+
+
+def test_cli_traced_json_matches_untraced_json():
+    # The machine-readable summary carries no tracing fields, so traced
+    # and untraced sweeps must emit the same bytes.
+    plain = run_cli("--workload", "fio", "--budget", "8", "--json")
+    traced = run_cli("--workload", "fio", "--budget", "8", "--trace",
+                     "--json")
+    assert plain.returncode == 0, plain.stdout + plain.stderr
+    assert traced.returncode == 0, traced.stdout + traced.stderr
+    assert plain.stdout == traced.stdout
+
+
 @needs_fork
 def test_lost_shard_raises_instead_of_merging_partial_sweep(monkeypatch):
     import repro.parallel.crash as crash_mod

@@ -37,11 +37,34 @@ def test_chrome_export_roundtrips(tmp_path):
     path = tmp_path / "trace.json"
     tracer.to_chrome_json(str(path))
     loaded = json.loads(path.read_text())
-    (event,) = loaded["traceEvents"]
+    (event,) = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
     assert event["name"] == "pwrite"
     assert event["ph"] == "X"
     assert event["ts"] == pytest.approx(1000.0)  # 1 ms in us
     assert event["args"]["nbytes"] == 4096
+
+
+def test_chrome_export_metadata_and_integer_tids(tmp_path):
+    """Perfetto-clean export: M-phase process/thread metadata and stable
+    integer tids instead of the track string."""
+    tracer = Tracer()
+    tracer.add(0.001, 0.0005, "ssd", "write", "ssd0")
+    tracer.add(0.002, 0.0001, "nvcache", "batch", "cleanup")
+    tracer.add(0.003, 0.0005, "ssd", "read", "ssd0")
+    events = tracer.to_chrome_events()
+    meta = [e for e in events if e["ph"] == "M"]
+    body = [e for e in events if e["ph"] == "X"]
+    process_names = [e for e in meta if e["name"] == "process_name"]
+    thread_names = [e for e in meta if e["name"] == "thread_name"]
+    assert len(process_names) == 1
+    assert {e["args"]["name"] for e in thread_names} == {"ssd0", "cleanup"}
+    # Every tid is a stable small integer, same track -> same tid.
+    assert all(isinstance(e["tid"], int) for e in events)
+    assert body[0]["tid"] == body[2]["tid"]  # both ssd0
+    assert body[0]["tid"] != body[1]["tid"]
+    tid_by_track = {e["args"]["name"]: e["tid"] for e in thread_names}
+    assert body[0]["tid"] == tid_by_track["ssd0"]
+    assert body[1]["tid"] == tid_by_track["cleanup"]
 
 
 def test_block_device_emits_events():

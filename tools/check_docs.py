@@ -9,6 +9,11 @@ registry names, and fails if any exact name is missing from
 ``docs/OBSERVABILITY.md``. The reverse direction is checked too: a
 documented name that no stack registers is stale and also fails.
 
+The tracing vocabulary is held to the same contract: every span name in
+``repro.sim.SPAN_NAMES`` and every critical-path segment in
+``repro.sim.SEGMENT_NAMES`` must appear in the doc, and every documented
+two-segment ``layer.name`` must be an emitted span or segment.
+
 Run by the ``docs_check`` smoke tests (``smoke/``, outside tier-1) and
 usable standalone::
 
@@ -33,14 +38,21 @@ from repro.faults import BlockFaultInjector  # noqa: E402
 from repro.harness.systems import Scale, build_stack  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
 from repro.parallel import register_engine_metrics  # noqa: E402
-from repro.sim import Environment  # noqa: E402
+from repro.sim import Environment, SEGMENT_NAMES, SPAN_NAMES  # noqa: E402
 
 #: Matches backticked metric names: a known layer prefix followed by at
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core|faults|parallel)"
+    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs)"
     r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+
+#: Matches backticked span/segment names: exactly two segments with a
+#: tracing layer prefix (`libc.pwrite`, `block.queue_wait`). Metric
+#: names always have three or more segments, so the two vocabularies
+#: cannot collide.
+TRACE_NAME_PATTERN = re.compile(
+    r"`((?:libc|core|kernel|fs|block|nvmm)\.[a-z0-9_]+)`")
 
 
 def registered_names() -> set:
@@ -49,6 +61,11 @@ def registered_names() -> set:
     for system in ("nvcache+ssd", "dm-writecache+ssd"):
         stack = build_stack(system, Scale(4096), metrics=True)
         names.update(stack.metrics.names())
+    # Tracer self-metrics (obs.trace.*) exist once a stack is built with
+    # both observability and tracing on.
+    stack = build_stack("nvcache+ssd", Scale(4096), metrics=True,
+                        tracing=True)
+    names.update(stack.metrics.names())
     env = Environment()
     env.metrics = MetricsRegistry()
     HddDevice(env)
@@ -82,8 +99,9 @@ def main(argv=None) -> int:
         return 1
     with open(DOC_PATH) as handle:
         doc_text = handle.read()
-    registered = registered_names()
-    documented = documented_names(doc_text)
+    registered = registered_names() | set(SPAN_NAMES) | set(SEGMENT_NAMES)
+    documented = documented_names(doc_text) \
+        | set(TRACE_NAME_PATTERN.findall(doc_text))
 
     undocumented = sorted(registered - documented)
     stale = sorted(documented - registered)

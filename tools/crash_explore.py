@@ -36,8 +36,8 @@ sys.path.insert(0, os.path.join(
 from repro.faults import CrashExplorer, ExplorationError  # noqa: E402
 from repro.faults.workloads import WORKLOADS  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
-from repro.parallel import (ShardEngine, SweepSpec, parallel_explore,  # noqa: E402
-                            seed_matrix)
+from repro.parallel import (ShardEngine, SweepSpec, make_explorer,  # noqa: E402
+                            parallel_explore, seed_matrix)
 
 
 def parse_seeds(text: str) -> list:
@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="dump parallel.* engine metrics to stderr "
                              "after the sweep")
+    parser.add_argument("--trace", action="store_true",
+                        help="attach a request tracer to every rebuilt run; "
+                             "the report is guaranteed byte-identical to an "
+                             "untraced sweep")
     parser.add_argument("--list-points", action="store_true",
                         help="enumerate and print the crash points, "
                              "then exit without exploring")
@@ -185,13 +189,10 @@ def main(argv=None) -> int:
     try:
         spec = SweepSpec(workload=args.workload, ops=args.ops,
                          budget=args.budget, subsets=args.subsets,
-                         seed=args.seed)
+                         seed=args.seed, trace=args.trace)
         jobs = args.jobs if args.jobs > 0 else None
         engine = ShardEngine(jobs=jobs, registry=registry)
-        explorer = CrashExplorer(
-            WORKLOADS[args.workload]() if args.ops is None
-            else WORKLOADS[args.workload](args.ops),
-            budget=args.budget, drop_subsets=args.subsets, seed=args.seed)
+        explorer = make_explorer(spec)
         if args.list_points:
             list_points(explorer)
             return 0
@@ -214,6 +215,8 @@ def main(argv=None) -> int:
         print_json(json_summary(args.workload, result))
     else:
         print(f"workload: {args.workload}")
+        if args.trace:
+            print("tracing: enabled")
         print(result.summary())
         if result.violations:
             report_violations(result, explorer, args.minimize)

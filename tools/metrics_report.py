@@ -57,12 +57,17 @@ def parse_args(argv):
     parser.add_argument("--export", choices=["prom", "json"],
                         help="dump the final registry in this format "
                              "instead of the tables")
+    parser.add_argument("--trace", action="store_true",
+                        help="also attach the request tracer; headline "
+                             "latencies gain p99 exemplar trace-ids "
+                             "(inspect them with tools/trace_report.py)")
     return parser.parse_args(argv)
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    stack = build_stack(args.system, Scale(args.scale), metrics=True)
+    stack = build_stack(args.system, Scale(args.scale), metrics=True,
+                        tracing=args.trace)
     registry = stack.metrics
 
     job = FioJob(rw=args.rw, block_size=4 * KIB,
@@ -88,6 +93,17 @@ def main(argv=None) -> int:
           f"write bw: {mib_per_s(result.write_bandwidth)}")
     print()
 
+    def p99_with_exemplar(label, hist):
+        """One headline row, plus an exemplar row when tracing recorded a
+        trace-id near the p99 bucket (docs/OBSERVABILITY.md, Tracing)."""
+        rows = [(label, fmt_time(hist.quantile(0.99)))]
+        exemplar = hist.exemplar_near(0.99)
+        if exemplar is not None:
+            trace_id, value = exemplar
+            rows.append((f"{label} exemplar",
+                         f"trace {trace_id} ({fmt_time(value)})"))
+        return rows
+
     # Headline numbers (paper Figs 4-6): hit ratio, occupancy, p99.
     headlines = []
     if registry.get("core.nvcache.hit_ratio") is not None:
@@ -95,13 +111,13 @@ def main(argv=None) -> int:
                           f"{registry.get('core.nvcache.hit_ratio').value():.3f}"))
         occupancy = registry.get("core.log.occupancy").value()
         headlines.append(("log occupancy (final)", f"{occupancy:.3f}"))
-        p99 = registry.get("core.nvcache.write_latency").quantile(0.99)
-        headlines.append(("p99 write latency", fmt_time(p99)))
+        headlines.extend(p99_with_exemplar(
+            "p99 write latency", registry.get("core.nvcache.write_latency")))
     else:
         for name in registry.names():
             if name.endswith(".write_latency"):
-                p99 = registry.get(name).quantile(0.99)
-                headlines.append((f"p99 {name}", fmt_time(p99)))
+                headlines.extend(p99_with_exemplar(
+                    f"p99 {name}", registry.get(name)))
     if headlines:
         width = max(len(label) for label, _ in headlines)
         print("headline:")
