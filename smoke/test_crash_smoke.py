@@ -91,6 +91,22 @@ def test_traced_sweep_is_byte_identical_to_untraced():
     assert traced.stdout.replace("tracing: enabled\n", "") == plain.stdout
 
 
+def test_warm_start_sweep_is_byte_identical_sequential_vs_sharded():
+    """The standing gate for snapshot warm-starts under the parallel
+    engine (docs/CRASH_TESTING.md "Warm-started sweeps"): a sharded
+    warm sweep — every worker taking its own deterministic checkpoint —
+    reports exactly what the sequential warm sweep does, and the phased
+    workload holds the durability contract."""
+    argv = ("tools/crash_explore.py", "--workload", "fio", "--warm-start",
+            "--budget", "12", "--subsets", "2", "--check")
+    sequential = run_script(*argv, "--jobs", "1")
+    sharded = run_script(*argv, "--jobs", str(max(2, CRASH_JOBS)))
+    assert sequential.returncode == 0, sequential.stdout + sequential.stderr
+    assert sharded.returncode == 0, sharded.stdout + sharded.stderr
+    assert sharded.stdout == sequential.stdout  # byte-identical report
+    assert "violations:              0" in sequential.stdout
+
+
 def test_seed_matrix_smoke():
     result = run_script("tools/crash_explore.py", "--workload", "fio",
                         "--budget", "8", "--seeds", "0-2", "--check",

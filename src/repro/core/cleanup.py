@@ -56,6 +56,10 @@ class CleanupThread:
         self.stats = stats
         self.running = False
         self._process = None
+        # The pending idle/backoff tick Timeout while the thread sleeps
+        # between batches; park() cancels it so a quiescent checkpoint
+        # can be taken (see repro.faults.snapshot).
+        self._tick = None
         # Set by Nvcache: generator performing the kernel-level close of
         # a deferred fd (close + path-slot clear + cache release).
         self.finalize_fd = None
@@ -82,6 +86,32 @@ class CleanupThread:
 
     def stop(self) -> None:
         self.running = False
+
+    def park(self) -> None:
+        """Stop the thread *between batches* and withdraw its pending
+        wake-up tick, leaving no trace in the event queue — the
+        precondition for a quiescent machine snapshot
+        (:mod:`repro.faults.snapshot`). The thread must be idle
+        (suspended on a tick, nothing mid-batch); :meth:`start` resumes
+        it with a fresh generator, whose first loop iteration is exactly
+        the continuation the parked one would have run."""
+        process = self._process
+        if process is not None and process.alive and self._tick is None:
+            raise ValueError("cleanup thread is mid-batch; drain before parking")
+        self.running = False
+        self._process = None
+        if process is not None and process.alive:
+            process.kill()
+        if self._tick is not None:
+            self._tick.cancel()
+            self._tick = None
+
+    def _sleep(self, delay: float) -> Generator:
+        """Tick sleep that park() can cancel: the Timeout is remembered
+        for the duration of the wait."""
+        self._tick = self.env.timeout(delay)
+        yield self._tick
+        self._tick = None
 
     def request_drain(self) -> Waitable:
         """A waitable that fires once everything logged *so far* has been
@@ -133,7 +163,7 @@ class CleanupThread:
             pending = self.log.used()
             if pending == 0:
                 self._last_progress = self.env.now
-                yield self.env.timeout(_TICK)
+                yield from self._sleep(_TICK)
                 continue
             urgent = (bool(self._drain_waiters)
                       or bool(self.log._space_waiters)  # writers stalled
@@ -141,13 +171,13 @@ class CleanupThread:
                       or len(self.tables.deferred_close) > 64  # fds piling up
                       or self.env.now - self._last_progress >= self.config.cleanup_idle_flush)
             if pending < self.config.batch_min and not urgent:
-                yield self.env.timeout(_TICK)
+                yield from self._sleep(_TICK)
                 continue
             consumed = yield from self._consume_batch()
             if consumed == 0:
                 # Tail entry allocated but not committed yet: wait for the
                 # writer (paper: "the cleanup thread waits").
-                yield self.env.timeout(_TICK / 10)
+                yield from self._sleep(_TICK / 10)
             else:
                 self._last_progress = self.env.now
                 self._fire_drains()
@@ -165,7 +195,7 @@ class CleanupThread:
             next_seq = start + len(batch)
             if next_seq >= self.log.head:
                 break
-            commit_group = self.log.read_header(next_seq)[0]
+            commit_group = self.log.commit_group_of(next_seq)
             if commit_group >= FOLLOWER_BASE and self.log.is_committed(next_seq):
                 batch.append(next_seq)
             else:

@@ -79,7 +79,7 @@ class NvmmLog:
     __slots__ = ("env", "nvmm", "config", "stats", "entries", "stride",
                  "fd_table_base", "tail_base", "entries_base", "head",
                  "volatile_tail", "_space_waiters", "_registered_fds",
-                 "_fd_set_authoritative")
+                 "_fd_set_authoritative", "_slot_mirror")
 
     def __init__(self, env: Environment, nvmm: NvmmDevice, config: NvcacheConfig,
                  stats: Optional[NvcacheStats] = None, base: int = 0):
@@ -108,6 +108,14 @@ class NvmmLog:
         # the first all_paths() performs the full scan once.
         self._registered_fds: set = set()
         self._fd_set_authoritative = False
+        # Volatile per-slot mirror of ``(seq, commit_group)`` as last
+        # written by *this* process, so the cleanup thread's commit
+        # checks skip the NVMM read entirely. Same trust model as
+        # ``_registered_fds``: a slot this process never wrote (a log
+        # built over a recovered image) reads ``None`` here and falls
+        # back to the media — the mirror is an index, never a substitute
+        # source of truth.
+        self._slot_mirror: List[Optional[Tuple[int, int]]] = [None] * self.entries
 
     # -- geometry ----------------------------------------------------------
 
@@ -183,6 +191,7 @@ class NvmmLog:
         header = _HEADER.pack(commit_group, fd, offset, len(data))
         self.nvmm.store(addr, header)
         self.nvmm.store(addr + HEADER_SIZE, data)
+        self._slot_mirror[seq % self.entries] = (seq, commit_group)
         self.nvmm.pwb_range(addr, HEADER_SIZE + len(data))
         recorder = self.env.crash_points
         if recorder is not None:
@@ -201,6 +210,7 @@ class NvmmLog:
         self.nvmm.pfence()
         current = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))
         self.nvmm.store(addr, _HEADER.pack(COMMIT_LEADER, *current[1:]))
+        self._slot_mirror[seq % self.entries] = (seq, COMMIT_LEADER)
         self.nvmm.pwb(addr)
         recorder = self.env.crash_points
         if recorder is not None:
@@ -259,14 +269,27 @@ class NvmmLog:
                 return True
         return False
 
+    def commit_group_of(self, seq: int) -> int:
+        """The entry's commit word, served from the volatile slot mirror
+        when this process wrote the slot, from NVMM otherwise."""
+        record = self._slot_mirror[seq % self.entries]
+        if record is not None and record[0] == seq:
+            return record[1]
+        return self.read_header(seq)[0]
+
     def is_committed(self, seq: int) -> bool:
         """True when this entry's write is durably committed: a committed
-        leader, or a follower whose leader slot is committed."""
-        commit_group = self.read_header(seq)[0]
+        leader, or a follower whose leader slot is committed. Answered
+        from the slot mirror when possible — the cleanup thread polls
+        this on every batch scan."""
+        commit_group = self.commit_group_of(seq)
         if commit_group == COMMIT_LEADER:
             return True
         if commit_group >= FOLLOWER_BASE:
             leader_slot = commit_group - FOLLOWER_BASE
+            leader_record = self._slot_mirror[leader_slot]
+            if leader_record is not None:
+                return leader_record[1] == COMMIT_LEADER
             leader_addr = self.entries_base + leader_slot * self.stride
             leader_word = _HEADER.unpack(self.nvmm.load(leader_addr, HEADER_SIZE))[0]
             return leader_word == COMMIT_LEADER
@@ -294,6 +317,7 @@ class NvmmLog:
             addr = self._slot_addr(seq)
             rest = _HEADER.unpack(self.nvmm.load(addr, HEADER_SIZE))[1:]
             self.nvmm.store(addr, _HEADER.pack(COMMIT_FREE, *rest))
+            self._slot_mirror[seq % self.entries] = (seq, COMMIT_FREE)
             self.nvmm.pwb(addr)
             self.nvmm.pfence()
             new_tail = max(new_tail, seq + 1)

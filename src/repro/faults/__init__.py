@@ -26,18 +26,27 @@ from .invariants import (CrashCase, DEFAULT_INVARIANTS, DurableAfterAck,
                          check_case)
 from .oracle import FileModelOracle, OracleOp, TrackedNvcacheLibc
 from .recorder import CrashPoint, CrashPointRecorder
-from .workloads import (SMALL_CONFIG, WORKLOADS, CrashRun, build_crash_run,
+from .snapshot import (Checkpoint, SnapshotError, WarmStartFactory, park,
+                       restore_run, resume, take_checkpoint)
+from .workloads import (PHASED_WORKLOADS, SMALL_CONFIG, WORKLOADS, CrashRun,
+                        PhasedWorkload, build_crash_run, db_bench_phased,
                         db_bench_workload, fio_mixed_workload,
-                        fio_write_workload, kvstore_workload)
+                        fio_write_phased, fio_write_workload, kvstore_phased,
+                        kvstore_workload)
 
 __all__ = [
     "BlockFaultInjector",
     "CaseResult",
+    "Checkpoint",
     "CrashCase",
     "CrashExplorer",
     "CrashPoint",
     "CrashPointRecorder",
     "CrashRun",
+    "PHASED_WORKLOADS",
+    "PhasedWorkload",
+    "SnapshotError",
+    "WarmStartFactory",
     "DEFAULT_INVARIANTS",
     "DurableAfterAck",
     "END_OF_RUN_SITE",
@@ -56,8 +65,15 @@ __all__ = [
     "WORKLOADS",
     "build_crash_run",
     "check_case",
+    "db_bench_phased",
     "db_bench_workload",
     "fio_mixed_workload",
+    "fio_write_phased",
     "fio_write_workload",
+    "kvstore_phased",
     "kvstore_workload",
+    "park",
+    "restore_run",
+    "resume",
+    "take_checkpoint",
 ]

@@ -135,10 +135,21 @@ class CrashExplorer:
 
     # -- pass 1: enumeration ------------------------------------------------
 
+    def _new_run(self, cold: bool = False) -> CrashRun:
+        """Build a run. ``cold=True`` asks a warm-start factory (see
+        :mod:`repro.faults.snapshot`) for a full from-scratch run — used
+        for enumeration and for points inside the checkpoint prefix;
+        plain factories only ever produce cold runs."""
+        if cold:
+            cold_run = getattr(self.factory, "cold_run", None)
+            if cold_run is not None:
+                return cold_run()
+        return self.factory()
+
     def enumerate_points(self) -> List[CrashPoint]:
         if self._points is not None:
             return self._points
-        run = self.factory()
+        run = self._new_run(cold=True)
         recorder = CrashPointRecorder(
             run.env, record=True,
             probe=lambda: {"dirty_lines": run.nvmm.dirty_line_count()})
@@ -166,7 +177,11 @@ class CrashExplorer:
         lines except ``keep_lines`` (or a seeded subset for
         ``variant > 0``), recover twice, check invariants."""
         points = self.enumerate_points()
-        run = self.factory()
+        # A warm-start factory resumes runs from a checkpoint taken after
+        # its prefix phase; points inside the prefix need a cold run.
+        prefix_hits = getattr(self.factory, "base_hits", 0)
+        run = self._new_run(cold=index is not None and index < prefix_hits)
+        base = run.crash_point_base
         captured: Dict[str, object] = {}
 
         def capture() -> None:
@@ -198,7 +213,7 @@ class CrashExplorer:
         else:
             point = points[index]
             recorder = CrashPointRecorder(run.env, record=False)
-            recorder.arm(index, capture)
+            recorder.arm(index - base, capture)
             self._drive(run, expect_completion=False)
             recorder.detach()
             if "image" not in captured:
@@ -307,7 +322,12 @@ class CrashExplorer:
     def _drive(run: CrashRun, expect_completion: bool = True) -> None:
         """Run the workload body; daemons (cleanup) keep the event queue
         non-empty forever, so completion is signalled by stopping the
-        environment — and an armed recorder may stop it first."""
+        environment — and an armed recorder may stop it first. Phased
+        runs install their own driver (cold: phase A, park, restart,
+        phase B; warm: restart, phase B) and skip the body path."""
+        if run.drive is not None:
+            run.drive(expect_completion)
+            return
         process = run.env.spawn(run.body(), name="crash-workload")
         process.subscribe(lambda _value, _exc: run.env.stop())
         run.env.run()

@@ -26,8 +26,8 @@ Shipped workloads mirror the paper's evaluation drivers:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Generator, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List
 
 from ..block import SsdDevice
 from ..core import Nvcache, NvcacheConfig, NvmmLog
@@ -60,10 +60,39 @@ class CrashRun:
     oracle: FileModelOracle
     config: NvcacheConfig
     body: Callable[[], Generator] = None
+    #: Multi-phase runs install a custom driver the explorer calls
+    #: instead of spawning ``body`` (see :mod:`repro.faults.snapshot`).
+    drive: Callable[[bool], None] = None
+    #: Crash-point hits that happened before this run's recorder could
+    #: attach — non-zero for a warm-started run restored from a
+    #: checkpoint taken after phase A.
+    crash_point_base: int = 0
+    #: Cross-phase workload state (fds, seeded RNGs, db handles); part
+    #: of the machine snapshot, so phase B finds it after a restore.
+    scratch: Dict = field(default_factory=dict)
 
     @property
     def devices(self) -> List[SsdDevice]:
         return [self.ssd]
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """A crash workload split at a quiescent checkpoint boundary.
+
+    ``phase_a`` runs first and must end with the NVCache log drained
+    (``yield run.nvcache.cleanup.request_drain()``) so the machine can be
+    parked and — optionally — snapshotted at the boundary. ``phase_b``
+    continues from the parked state; everything it needs from phase A
+    travels in ``run.scratch``. Cold runs execute A, park, restart,
+    then B; warm runs restore a pickled checkpoint and execute only B —
+    byte-identically, because both sides resume through the exact same
+    park/restart protocol (:mod:`repro.faults.snapshot`).
+    """
+
+    build: Callable[[], CrashRun]
+    phase_a: Callable[[CrashRun], Generator]
+    phase_b: Callable[[CrashRun], Generator]
 
 
 def build_crash_run(config: NvcacheConfig = SMALL_CONFIG,
@@ -228,4 +257,106 @@ WORKLOADS = {
     "fio-mixed": fio_mixed_workload,
     "db_bench": db_bench_workload,
     "kvstore": kvstore_workload,
+}
+
+
+# -- phased variants (warm-started exploration) ----------------------------
+
+
+def fio_write_phased(ops: int = 16, block_size: int = 1024,
+                     fsync_every: int = 4, seed: int = 7) -> PhasedWorkload:
+    """The fio sequential-write workload split mid-stream: phase A does
+    the first half of the writes and drains; phase B finishes, closes,
+    and drains again."""
+    boundary = ops // 2
+
+    def write_range(run: CrashRun, start: int, stop: int) -> Generator:
+        fd = run.scratch["fd"]
+        rng = run.scratch["rng"]
+        for i in range(start, stop):
+            data = bytes([rng.randrange(256)]) * block_size
+            yield from run.libc.pwrite(fd, data, i * block_size)
+            if fsync_every and (i + 1) % fsync_every == 0:
+                yield from run.libc.fsync(fd)
+
+    def phase_a(run: CrashRun) -> Generator:
+        run.scratch["rng"] = random.Random(seed)
+        run.scratch["fd"] = yield from run.libc.open(
+            "/bench.dat", O_CREAT | O_WRONLY)
+        yield from write_range(run, 0, boundary)
+        yield run.nvcache.cleanup.request_drain()
+
+    def phase_b(run: CrashRun) -> Generator:
+        yield from write_range(run, boundary, ops)
+        yield from run.libc.close(run.scratch["fd"])
+        yield run.nvcache.cleanup.request_drain()
+
+    return PhasedWorkload(build=build_crash_run, phase_a=phase_a,
+                          phase_b=phase_b)
+
+
+def db_bench_phased(num: int = 5, seed: int = 3,
+                    value_size: int = 64) -> PhasedWorkload:
+    """db_bench fillseq split mid-fill: phase A opens MiniRocks and puts
+    the first half of the key range (same key/value streams as
+    ``DbBench.fillseq``), phase B puts the rest and closes the WAL."""
+    boundary = num // 2
+
+    def put_range(run: CrashRun, start: int, stop: int) -> Generator:
+        from ..workloads.db_bench import make_key, make_value
+        db = run.scratch["db"]
+        rng = run.scratch["rng"]
+        for i in range(start, stop):
+            yield from db.put(make_key(i), make_value(rng, value_size))
+
+    def phase_a(run: CrashRun) -> Generator:
+        from ..apps.kvstore import KVOptions, MiniRocks
+        run.scratch["db"] = yield from MiniRocks.open(
+            run.libc, "/db", KVOptions(sync=True))
+        run.scratch["rng"] = random.Random(seed)
+        yield from put_range(run, 0, boundary)
+        yield run.nvcache.cleanup.request_drain()
+
+    def phase_b(run: CrashRun) -> Generator:
+        yield from put_range(run, boundary, num)
+        yield from run.scratch["db"].wal.close()
+        yield run.nvcache.cleanup.request_drain()
+
+    return PhasedWorkload(build=build_crash_run, phase_a=phase_a,
+                          phase_b=phase_b)
+
+
+def kvstore_phased(puts: int = 6, seed: int = 5) -> PhasedWorkload:
+    """The MiniRocks put/delete workload split before the delete: phase B
+    carries the memtable-flush close (SSTable + MANIFEST replacement)."""
+    boundary = puts // 2
+
+    def phase_a(run: CrashRun) -> Generator:
+        from ..apps.kvstore import KVOptions, MiniRocks
+        options = KVOptions(sync=True, memtable_bytes=1 << 16)
+        db = yield from MiniRocks.open(run.libc, "/kv", options)
+        rng = random.Random(seed)
+        run.scratch["db"] = db
+        run.scratch["rng"] = rng
+        for i in range(boundary):
+            yield from db.put(b"%08d" % i, bytes([rng.randrange(256)]) * 48)
+        yield run.nvcache.cleanup.request_drain()
+
+    def phase_b(run: CrashRun) -> Generator:
+        db = run.scratch["db"]
+        rng = run.scratch["rng"]
+        for i in range(boundary, puts):
+            yield from db.put(b"%08d" % i, bytes([rng.randrange(256)]) * 48)
+        yield from db.delete(b"%08d" % 0)
+        yield from db.close()
+        yield run.nvcache.cleanup.request_drain()
+
+    return PhasedWorkload(build=build_crash_run, phase_a=phase_a,
+                          phase_b=phase_b)
+
+
+PHASED_WORKLOADS = {
+    "fio": fio_write_phased,
+    "db_bench": db_bench_phased,
+    "kvstore": kvstore_phased,
 }

@@ -150,6 +150,13 @@ class DmWriteCache(BlockDevice):
 
     # -- background writeback ------------------------------------------------------
 
+    def _resolve_block(self, block: int):
+        """Batch-op resolver: the block's *current* cache content, read at
+        the op's service start — the same instant a back-to-back
+        ``origin.write`` loop would read it, so a block overwritten while
+        the writeback run is in flight drains its newest data."""
+        return block * self.BLOCK, self._cache_data[block]
+
     def _writeback_daemon(self) -> Generator:
         while True:
             if self._over_watermark(self.high_watermark):
@@ -159,10 +166,20 @@ class DmWriteCache(BlockDevice):
                     dirty = sorted(b for b, d in self._cache_blocks.items() if d)
                     if not dirty:
                         break
-                    for block in dirty:
-                        yield from self.origin.write(block * self.BLOCK, self._cache_data[block])
-                        self._cache_blocks[block] = False
-                        drained += 1
+                    # Retire the snapshot through the origin's batched
+                    # path, splitting runs at autocommit boundaries so
+                    # the interleaved flushes land after exactly the
+                    # same blocks as the unbatched per-op loop did.
+                    index = 0
+                    while index < len(dirty):
+                        take = self.autocommit_blocks - (drained % self.autocommit_blocks)
+                        run = dirty[index:index + take]
+                        yield from self.origin.write_batch(
+                            run, resolve=self._resolve_block,
+                            on_complete=lambda i, run=run:
+                                self._cache_blocks.__setitem__(run[i], False))
+                        drained += len(run)
+                        index += len(run)
                         if drained % self.autocommit_blocks == 0:
                             yield from self.origin.flush()
                 yield from self.origin.flush()
@@ -173,9 +190,9 @@ class DmWriteCache(BlockDevice):
     def drain(self) -> Generator:
         """Synchronously push every dirty block to the origin (teardown)."""
         dirty = sorted(b for b, d in self._cache_blocks.items() if d)
-        for block in dirty:
-            yield from self.origin.write(block * self.BLOCK, self._cache_data[block])
-            self._cache_blocks[block] = False
+        yield from self.origin.write_batch(
+            dirty, resolve=self._resolve_block,
+            on_complete=lambda i: self._cache_blocks.__setitem__(dirty[i], False))
         yield from self.origin.flush()
 
     def crash(self) -> None:

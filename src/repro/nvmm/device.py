@@ -21,15 +21,21 @@ code must be correct for every such subset, and the property tests exercise
 exactly that.
 
 Representation: both the media and the volatile CPU-cache overlay are
-sparse chunked buffers (:class:`~repro.nvmm.sparse.SparseBytes`). The
-overlay flatly shadows the media, with a set of dirty line indices
-recording where it is authoritative: ``store``/``load`` become one or two
+flat shadows of each other, with a set of dirty line indices recording
+where the overlay is authoritative: ``store``/``load`` become one or two
 slice operations instead of a per-cache-line dict walk, and only the
 partially-written edge lines of a store need seeding from media.
+Devices up to :data:`FLAT_LIMIT` — every NVCache log geometry in the
+repo — back both buffers with plain ``bytearray``s, so the hot
+store/load/persist paths are raw slice assignments with no buffer
+abstraction in between. Larger modules fall back to sparse chunked
+buffers (:class:`~repro.nvmm.sparse.SparseBytes`) so a "480 GB" module
+does not pay a gigantic zero-fill at construction.
 """
 
 from __future__ import annotations
 
+import mmap
 import random
 from dataclasses import dataclass
 from typing import Generator, Iterable, Optional, Set, Tuple
@@ -38,6 +44,19 @@ from ..sim import Environment
 from ..sim.trace import traced
 from ..units import CACHE_LINE_SIZE, GIB, NS
 from .sparse import SparseBytes
+
+#: Devices at or below this size back media and overlay with flat
+#: anonymous mmaps (raw slice assignment on the hot paths, zero pages
+#: materialized lazily by the kernel); larger devices use
+#: :class:`SparseBytes` so huge mostly-untouched modules stay cheap
+#: even for whole-buffer operations like ``crash_image``.
+FLAT_LIMIT = 256 << 20
+
+
+def _flat_buffer(size: int) -> mmap.mmap:
+    """Zero-initialized flat buffer with bytearray slice semantics but
+    lazy page allocation (untouched regions never consume memory)."""
+    return mmap.mmap(-1, size)
 
 
 @dataclass(frozen=True)
@@ -80,9 +99,9 @@ class NvmmStats:
 class NvmmDevice:
     """A single NVMM module (or DAX file): media + volatile cache overlay."""
 
-    __slots__ = ("env", "size", "timing", "name", "_media", "_overlay",
-                 "_dirty", "_flush_queue", "_undrained_lines", "stats",
-                 "_m_psync_latency")
+    __slots__ = ("env", "size", "timing", "name", "_flat", "_media",
+                 "_overlay", "_dirty", "_flush_queue", "_undrained_lines",
+                 "stats", "_m_psync_latency")
 
     def __init__(self, env: Environment, size: int, timing: Optional[NvmmTiming] = None,
                  media: Optional[bytearray] = None, name: str = "nvmm0"):
@@ -94,13 +113,22 @@ class NvmmDevice:
         self.size = size
         self.timing = timing or NvmmTiming()
         self.name = name
-        # The persistent media. Survives crashes. Sparse: untouched
-        # regions cost nothing, so filesystems that only use the device
-        # for its timing/capacity model (NOVA, Ext4-DAX) stay free.
-        self._media = SparseBytes(size, initial=media)
-        # Flat volatile overlay shadowing the media; authoritative only
-        # for the lines in ``_dirty``.
-        self._overlay = SparseBytes(size)
+        # The persistent media (survives crashes) and the volatile cache
+        # overlay shadowing it; the overlay is authoritative only for the
+        # lines in ``_dirty``. Small devices — every NVCache log — keep
+        # both as flat bytearrays so stores and loads are raw slice
+        # assignments; huge modules stay sparse so untouched regions cost
+        # nothing (NOVA, Ext4-DAX use the device mostly for its
+        # timing/capacity model).
+        self._flat = size <= FLAT_LIMIT
+        if self._flat:
+            self._media = _flat_buffer(size)
+            if media is not None:
+                self._media[:] = media
+            self._overlay = _flat_buffer(size)
+        else:
+            self._media = SparseBytes(size, initial=media)
+            self._overlay = SparseBytes(size)
         self._dirty: Set[int] = set()
         # Lines enqueued by pwb but not yet fenced.
         self._flush_queue: Set[int] = set()
@@ -140,6 +168,30 @@ class NvmmDevice:
         self._m_psync_latency = m.histogram(
             "psync_latency", unit="s", help="simulated psync drain latency")
 
+    # -- snapshot support ---------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle support for quiescent machine snapshots
+        (:mod:`repro.faults.snapshot`). Flat devices back their media and
+        overlay with anonymous ``mmap`` buffers, which cannot be
+        serialized — they travel as plain bytes and are rehydrated into
+        fresh buffers on restore. Metrics bindings never travel (the
+        restore path reattaches observability from scratch)."""
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        if self._flat:
+            state["_media"] = bytes(self._media)
+            state["_overlay"] = bytes(self._overlay)
+        state["_m_psync_latency"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            if state["_flat"] and slot in ("_media", "_overlay"):
+                buffer = _flat_buffer(len(value))
+                buffer[:] = value
+                value = buffer
+            setattr(self, slot, value)
+
     # -- address helpers ---------------------------------------------------
 
     def _check_range(self, addr: int, nbytes: int) -> None:
@@ -159,7 +211,8 @@ class NvmmDevice:
         """CPU store: visible to loads immediately, persistent only after
         pwb+pfence/psync (or a lucky cache eviction)."""
         nbytes = len(data)
-        self._check_range(addr, nbytes)
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            self._check_range(addr, nbytes)
         stats = self.stats
         stats.stores += 1
         stats.bytes_stored += nbytes
@@ -172,13 +225,25 @@ class NvmmDevice:
         dirty = self._dirty
         # Only the partially-covered edge lines need their untouched bytes
         # seeded from media; fully-covered interior lines are overwritten.
-        if addr % CACHE_LINE_SIZE and first not in dirty:
-            overlay.copy_from(self._media, first * CACHE_LINE_SIZE,
-                              CACHE_LINE_SIZE)
-        if end % CACHE_LINE_SIZE and last not in dirty:
-            overlay.copy_from(self._media, last * CACHE_LINE_SIZE,
-                              CACHE_LINE_SIZE)
-        overlay.write(addr, data)
+        if self._flat:
+            media = self._media
+            if addr % CACHE_LINE_SIZE and first not in dirty:
+                start = first * CACHE_LINE_SIZE
+                overlay[start:start + CACHE_LINE_SIZE] = \
+                    media[start:start + CACHE_LINE_SIZE]
+            if end % CACHE_LINE_SIZE and last not in dirty:
+                start = last * CACHE_LINE_SIZE
+                overlay[start:start + CACHE_LINE_SIZE] = \
+                    media[start:start + CACHE_LINE_SIZE]
+            overlay[addr:end] = data
+        else:
+            if addr % CACHE_LINE_SIZE and first not in dirty:
+                overlay.copy_from(self._media, first * CACHE_LINE_SIZE,
+                                  CACHE_LINE_SIZE)
+            if end % CACHE_LINE_SIZE and last not in dirty:
+                overlay.copy_from(self._media, last * CACHE_LINE_SIZE,
+                                  CACHE_LINE_SIZE)
+            overlay.write(addr, data)
         if first == last:
             dirty.add(first)
         else:
@@ -186,16 +251,34 @@ class NvmmDevice:
 
     def load(self, addr: int, nbytes: int) -> bytes:
         """CPU load: sees the newest (possibly unpersisted) data."""
-        self._check_range(addr, nbytes)
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            self._check_range(addr, nbytes)
         stats = self.stats
         stats.loads += 1
         stats.bytes_loaded += nbytes
         if nbytes == 0:
             return b""
         dirty = self._dirty
+        end = addr + nbytes
+        if self._flat:
+            if not dirty:
+                return bytes(self._media[addr:end])
+            lines = range(addr // CACHE_LINE_SIZE,
+                          (end - 1) // CACHE_LINE_SIZE + 1)
+            dirty_in_range = dirty.intersection(lines)
+            if not dirty_in_range:
+                return bytes(self._media[addr:end])
+            if len(dirty_in_range) == len(lines):
+                return bytes(self._overlay[addr:end])
+            out = bytearray(self._media[addr:end])
+            overlay = self._overlay
+            for line in dirty_in_range:
+                start = max(line * CACHE_LINE_SIZE, addr)
+                stop = min((line + 1) * CACHE_LINE_SIZE, end)
+                out[start - addr:stop - addr] = overlay[start:stop]
+            return bytes(out)
         if not dirty:
             return self._media.read(addr, nbytes)
-        end = addr + nbytes
         lines = range(addr // CACHE_LINE_SIZE, (end - 1) // CACHE_LINE_SIZE + 1)
         dirty_in_range = dirty.intersection(lines)
         if not dirty_in_range:
@@ -237,18 +320,25 @@ class NvmmDevice:
         to_persist = sorted(lines)
         media = self._media
         overlay = self._overlay
+        flat = self._flat
         run_start = to_persist[0]
         previous = run_start
         for line in to_persist[1:]:
             if line != previous + 1:
                 start = run_start * CACHE_LINE_SIZE
-                media.copy_from(overlay, start,
-                                (previous + 1) * CACHE_LINE_SIZE - start)
+                stop = (previous + 1) * CACHE_LINE_SIZE
+                if flat:
+                    media[start:stop] = overlay[start:stop]
+                else:
+                    media.copy_from(overlay, start, stop - start)
                 run_start = line
             previous = line
         start = run_start * CACHE_LINE_SIZE
-        media.copy_from(overlay, start,
-                        (previous + 1) * CACHE_LINE_SIZE - start)
+        stop = (previous + 1) * CACHE_LINE_SIZE
+        if flat:
+            media[start:stop] = overlay[start:stop]
+        else:
+            media.copy_from(overlay, start, stop - start)
         self._dirty.difference_update(lines)
         self.stats.lines_persisted += len(to_persist)
 
@@ -346,7 +436,8 @@ class NvmmDevice:
         """
         if keep_lines is not None and rng is not None:
             raise ValueError("pass either rng or keep_lines, not both")
-        image = self._media.to_bytearray()
+        image = (bytearray(self._media) if self._flat
+                 else self._media.to_bytearray())
         survivors: Iterable[int] = ()
         if keep_lines is not None:
             survivors = sorted(self._dirty.intersection(keep_lines))
@@ -356,8 +447,9 @@ class NvmmDevice:
         overlay = self._overlay
         for line in survivors:
             start = line * CACHE_LINE_SIZE
-            image[start:start + CACHE_LINE_SIZE] = \
-                overlay.read(start, CACHE_LINE_SIZE)
+            stop = start + CACHE_LINE_SIZE
+            image[start:stop] = (overlay[start:stop] if self._flat
+                                 else overlay.read(start, CACHE_LINE_SIZE))
         return image
 
     @classmethod
@@ -368,4 +460,6 @@ class NvmmDevice:
 
     def persisted_view(self) -> bytes:
         """What the media holds right now if the machine lost power."""
+        if self._flat:
+            return bytes(self._media)
         return bytes(self._media.to_bytearray())

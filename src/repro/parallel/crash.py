@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.explorer import (CaseResult, CrashExplorer, ExplorationError,
                                ExplorationResult)
-from ..faults.workloads import WORKLOADS
+from ..faults.workloads import PHASED_WORKLOADS, WORKLOADS
 from .engine import ShardEngine, Task, chunked
 
 #: Shards per worker slot: small shards amortize pool startup while
@@ -47,14 +47,30 @@ class SweepSpec:
     #: to change simulated results, so traced and untraced sweeps (and
     #: sequential vs. sharded traced sweeps) produce identical reports.
     trace: bool = False
+    #: Run the *phased* variant of the workload and warm-start every
+    #: post-checkpoint case from a quiescent machine snapshot instead of
+    #: replaying the prefix (repro.faults.snapshot). Phased sweeps have
+    #: their own crash-point stream (the park/restart boundary is part
+    #: of the workload), but within the mode results are byte-identical
+    #: sequential vs. sharded and warm vs. cold — each worker process
+    #: takes its own checkpoint, deterministically equal to every other.
+    warm_start: bool = False
 
     def __post_init__(self):
-        if self.workload not in WORKLOADS:
+        table = PHASED_WORKLOADS if self.warm_start else WORKLOADS
+        if self.workload not in table:
             raise ValueError(f"unknown crash workload {self.workload!r} "
-                             f"(have: {', '.join(sorted(WORKLOADS))})")
+                             f"(have: {', '.join(sorted(table))})")
 
 
 def make_explorer(spec: SweepSpec) -> CrashExplorer:
+    if spec.warm_start:
+        from ..faults.snapshot import WarmStartFactory
+        maker = PHASED_WORKLOADS[spec.workload]
+        phased = maker() if spec.ops is None else maker(spec.ops)
+        factory = WarmStartFactory(phased, trace=spec.trace)
+        return CrashExplorer(factory, budget=spec.budget,
+                             drop_subsets=spec.subsets, seed=spec.seed)
     maker = WORKLOADS[spec.workload]
     factory = maker() if spec.ops is None else maker(spec.ops)
     if spec.trace:
@@ -172,7 +188,7 @@ def seed_matrix(spec: SweepSpec, seeds: Sequence[int],
     for seed in sorted(set(seeds)):
         cell = SweepSpec(workload=spec.workload, ops=spec.ops,
                          budget=spec.budget, subsets=spec.subsets, seed=seed,
-                         trace=spec.trace)
+                         trace=spec.trace, warm_start=spec.warm_start)
         tasks.append(Task(key=(seed,), fn="repro.parallel.crash:run_seed_cell",
                           args=(asdict(cell),), timeout=cell_timeout))
     outcomes = engine.run(tasks)

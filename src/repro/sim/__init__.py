@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel used by every substrate in the repo."""
 
 from .core import (
+    CalendarQueue,
     Environment,
     Process,
     SimulationError,
@@ -13,6 +14,7 @@ from .sync import Condition, Event, Lock, Queue, Semaphore
 from .trace import SEGMENT_NAMES, SPAN_NAMES, Span, TraceEvent, Tracer, traced
 
 __all__ = [
+    "CalendarQueue",
     "Environment",
     "Process",
     "SimulationError",

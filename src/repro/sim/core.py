@@ -22,15 +22,27 @@ Composition uses plain ``yield from``: a sub-operation that consumes
 simulated time is a generator, and callers delegate to it.
 
 Scheduling fast path: zero-delay events (waitable callbacks, ``timeout(0)``,
-process start-ups) dominate a run, so they bypass the heap entirely and go
-into a FIFO *lane* — a deque that is merged with the heap by ``(time,
-sequence)`` order. Because the clock never moves backwards, lane entries are
-appended in already-sorted order, making the merge a pair of head
-comparisons instead of an O(log n) heap round-trip per event. Entries are
-``(time, seq, fn, args)`` tuples, so firing a callback allocates no closure.
-The fast path changes only the *wall* clock, never the simulated one:
-``tests/sim/test_determinism.py`` pins the dispatch order and
+process start-ups) dominate a run, so they bypass the timer structure
+entirely and go into a FIFO *lane* — a deque that is merged with the timers
+by ``(time, sequence)`` order. Because the clock never moves backwards, lane
+entries are appended in already-sorted order, making the merge a pair of
+head comparisons instead of an O(log n) heap round-trip per event. Entries
+are ``(time, seq, fn, args)`` tuples, so firing a callback allocates no
+closure. The fast path changes only the *wall* clock, never the simulated
+one: ``tests/sim/test_determinism.py`` pins the dispatch order and
 ``tools/bench_engine.py`` (see DESIGN.md §6) tracks the speedup.
+
+Timed events live in a :class:`CalendarQueue` — a two-rung calendar/ladder
+structure replacing the former binary heap. Inserts append to an unsorted
+*far* rung in O(1); pops consume a sorted *near* bucket by advancing a
+cursor, also O(1). Only when the near bucket runs dry is the far rung
+sorted (Timsort, which is near-linear on the mostly-ordered arrival
+pattern a monotonic clock produces) and a bucket split off — the bucket
+capacity is resized lazily at that moment, never on insert. Pop order is
+exactly ascending ``(time, seq)``, i.e. provably identical to the heap it
+replaced (``tests/sim/test_calendar_queue.py`` checks equality against
+``heapq`` on randomized schedules, including ties and far-future
+overflow times).
 
 Observability hooks: an :class:`Environment` carries three optional,
 off-by-default attachment points — ``tracer`` (a
@@ -46,12 +58,91 @@ time.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from bisect import insort
 from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 _Entry = Tuple[float, int, Callable[..., None], tuple]
+
+
+class CalendarQueue:
+    """Calendar/ladder queue over ``(time, seq, fn, args)`` entries.
+
+    Two rungs:
+
+    - ``_near`` — a sorted bucket consumed front-to-back by advancing
+      ``_cursor`` (no list mutation per pop);
+    - ``_far``  — an unsorted spill list holding everything ordered
+      after the last near entry; inserts are plain appends.
+
+    An insert that lands *inside* the near bucket (earlier than its last
+    entry) is placed by binary insertion — rare under a monotonic clock,
+    and bounded by the bucket capacity. When the near bucket drains, the
+    far rung is sorted once and the next bucket split off; the bucket
+    capacity is recomputed from the pending population at that moment
+    (*lazy* resizing — never on the insert path). Amortized O(1) per
+    operation; pop order is exactly ascending ``(time, seq)``, matching
+    a binary heap over the same entries element-for-element.
+    """
+
+    __slots__ = ("_near", "_cursor", "_far", "_bucket_cap")
+
+    #: Bucket capacity floor; small queues sort in one tiny batch.
+    MIN_BUCKET = 32
+    #: Lazily resized to population // FAR_FRACTION at each refill.
+    FAR_FRACTION = 8
+
+    def __init__(self):
+        self._near: List[_Entry] = []
+        self._cursor = 0
+        self._far: List[_Entry] = []
+        self._bucket_cap = self.MIN_BUCKET
+
+    def __len__(self) -> int:
+        return len(self._near) - self._cursor + len(self._far)
+
+    def __bool__(self) -> bool:
+        return self._cursor < len(self._near) or bool(self._far)
+
+    def push(self, entry: _Entry) -> None:
+        near = self._near
+        if self._cursor < len(near) and entry < near[-1]:
+            insort(near, entry, self._cursor)
+        else:
+            self._far.append(entry)
+
+    def _refill(self) -> bool:
+        """Sort the far rung and split off the next near bucket; returns
+        False when the queue is empty. The bucket capacity is resized
+        here, lazily, from the current population."""
+        far = self._far
+        if not far:
+            self._near = []
+            self._cursor = 0
+            return False
+        far.sort()
+        cap = len(far) // self.FAR_FRACTION
+        self._bucket_cap = cap if cap > self.MIN_BUCKET else self.MIN_BUCKET
+        if len(far) <= self._bucket_cap:
+            self._near = far
+            self._far = []
+        else:
+            self._near = far[:self._bucket_cap]
+            self._far = far[self._bucket_cap:]
+        self._cursor = 0
+        return True
+
+    def peek(self) -> Optional[_Entry]:
+        if self._cursor == len(self._near) and not self._refill():
+            return None
+        return self._near[self._cursor]
+
+    def pop(self) -> _Entry:
+        if self._cursor == len(self._near) and not self._refill():
+            raise IndexError("pop from empty CalendarQueue")
+        entry = self._near[self._cursor]
+        self._cursor += 1
+        return entry
 
 
 class SimulationError(Exception):
@@ -98,21 +189,48 @@ class Waitable:
         callbacks = self._callbacks
         if callbacks:
             self._callbacks = []
-            schedule_call = self.env.schedule_call
+            # Inlined schedule_call(0.0, ...): subscriber wake-ups all
+            # take the zero-delay lane, one entry per subscriber.
+            env = self.env
+            lane_append = env._lane.append
+            now = env.now
+            seq = env._sequence
+            args = (value, exception)
             for callback in callbacks:
-                schedule_call(0.0, callback, (value, exception))
+                lane_append((now, seq, callback, args))
+                seq += 1
+            env._sequence = seq
 
 
 class Timeout(Waitable):
     """Fires after a fixed amount of simulated time."""
 
-    __slots__ = ()
+    __slots__ = ("seq",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout: {delay!r}")
-        super().__init__(env)
-        env.schedule_call(delay, self._fire, (value,))
+        # Flattened Waitable.__init__ + Environment.schedule_call: a
+        # timeout is constructed for nearly every simulated operation,
+        # so the two extra frames are worth eliding.
+        self.env = env
+        self._callbacks = []
+        self._fired = False
+        self.value = None
+        self.exception = None
+        seq = env._sequence
+        env._sequence = seq + 1
+        self.seq = seq
+        if delay == 0.0:
+            env._lane.append((env.now, seq, self._fire, (value,)))
+        else:
+            env._timers.push((env.now + delay, seq, self._fire, (value,)))
+
+    def cancel(self) -> None:
+        """Withdraw the pending fire (see :meth:`Environment.cancel`);
+        no-op if the timeout already fired."""
+        if not self._fired:
+            self.env.cancel(self.seq)
 
 
 class Process(Waitable):
@@ -177,7 +295,11 @@ class Process(Waitable):
             )
             return
         if target._fired:
-            self.env.schedule_call(0.0, self._step, (target.value, target.exception))
+            env = self.env
+            seq = env._sequence
+            env._sequence = seq + 1
+            env._lane.append((env.now, seq, self._step,
+                              (target.value, target.exception)))
         else:
             target._callbacks.append(self._step)
 
@@ -189,12 +311,13 @@ class Process(Waitable):
 
 
 class Environment:
-    """The event loop: virtual clock, zero-delay lane, and a heap of
-    timed callbacks."""
+    """The event loop: virtual clock, zero-delay lane, and a calendar
+    queue of timed callbacks."""
 
     __slots__ = ("now", "tracer", "metrics", "crash_points",
-                 "active_process", "events_dispatched", "_heap", "_lane",
-                 "_sequence", "_stop_requested", "_crashed_process")
+                 "active_process", "events_dispatched", "_timers", "_lane",
+                 "_sequence", "_cancelled", "_stop_requested",
+                 "_crashed_process", "_granted")
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
@@ -214,24 +337,47 @@ class Environment:
         self.active_process = None
         # Callbacks dispatched so far (read by the perf harness).
         self.events_dispatched = 0
-        self._heap: List[_Entry] = []
+        self._timers = CalendarQueue()
         # Same-timestamp FIFO lane: appended in nondecreasing (time, seq)
         # order because the clock is monotonic, hence always sorted.
         self._lane: Deque[_Entry] = deque()
-        self._sequence = itertools.count()
+        # Plain int counter (not itertools.count): cheaper to bump, and
+        # picklable, which snapshot/restore relies on.
+        self._sequence = 0
+        # Sequence numbers of cancelled entries: lazily discarded at
+        # dispatch, never dispatched, never counted. Lets a snapshot
+        # checkpoint park a daemon without leaving its pending timer to
+        # perturb the event stream (see repro.faults.snapshot).
+        self._cancelled: set = set()
         self._stop_requested = False
         self._crashed_process: Optional[Tuple[Process, BaseException]] = None
+        # Shared pre-fired waitable handed out by uncontended
+        # Lock.acquire() calls: immutable once fired, so every fast-path
+        # acquire can return the same object instead of allocating one.
+        self._granted = Waitable(self)
+        self._granted._fired = True
 
     # -- scheduling -------------------------------------------------------
 
     def schedule_call(self, delay: float, fn: Callable[..., None],
-                      args: tuple = ()) -> None:
-        """Schedule ``fn(*args)``; zero-delay calls take the FIFO lane."""
+                      args: tuple = ()) -> int:
+        """Schedule ``fn(*args)``; zero-delay calls take the FIFO lane.
+        Returns the entry's sequence number (a :meth:`cancel` handle)."""
+        seq = self._sequence
+        self._sequence = seq + 1
         if delay == 0.0:
-            self._lane.append((self.now, next(self._sequence), fn, args))
+            self._lane.append((self.now, seq, fn, args))
         else:
-            heapq.heappush(self._heap,
-                           (self.now + delay, next(self._sequence), fn, args))
+            self._timers.push((self.now + delay, seq, fn, args))
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        """Cancel a scheduled entry by sequence number. The entry stays
+        queued but is silently discarded at dispatch time: it never runs,
+        never advances the clock, and is not counted — so a run that
+        schedules-then-cancels an entry dispatches exactly like a run
+        that never knew about it."""
+        self._cancelled.add(seq)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         self.schedule_call(delay, callback)
@@ -256,23 +402,40 @@ class Environment:
         with no joiner is re-raised here, so tests fail loudly.
         """
         self._stop_requested = False
-        heap = self._heap
+        timers = self._timers
         lane = self._lane
+        lane_popleft = lane.popleft
+        cancelled = self._cancelled
         dispatched = 0
-        while (lane or heap) and not self._stop_requested:
-            # Two-way merge of the sorted lane and the heap. Sequence
-            # numbers are unique, so the tuple comparison never reaches
-            # the (uncomparable) callback element.
-            if lane and (not heap or lane[0] < heap[0]):
+        while (lane or timers) and not self._stop_requested:
+            # Two-way merge of the sorted lane and the calendar queue,
+            # with the queue's peek inlined (this loop is the engine's
+            # innermost cycle). Sequence numbers are unique, so the tuple
+            # comparison never reaches the (uncomparable) callback.
+            near = timers._near
+            cursor = timers._cursor
+            if cursor == len(near):
+                if timers._refill():
+                    near = timers._near
+                    cursor = 0
+                    head = near[0]
+                else:
+                    head = None
+            else:
+                head = near[cursor]
+            if lane and (head is None or lane[0] < head):
                 entry = lane[0]
                 if until is not None and entry[0] > until:
                     break
-                lane.popleft()
+                lane_popleft()
             else:
-                entry = heap[0]
-                if until is not None and entry[0] > until:
+                if until is not None and head[0] > until:
                     break
-                heapq.heappop(heap)
+                entry = head
+                timers._cursor = cursor + 1
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
             self.now = entry[0]
             dispatched += 1
             entry[2](*entry[3])
@@ -300,3 +463,35 @@ class Environment:
 
     def stop(self) -> None:
         self._stop_requested = True
+
+    # -- snapshot support ---------------------------------------------------
+
+    def pending_events(self) -> List[_Entry]:
+        """Live (non-cancelled) queued entries, for quiescence checks."""
+        timers = self._timers
+        queued = list(self._lane)
+        queued.extend(timers._near[timers._cursor:])
+        queued.extend(timers._far)
+        cancelled = self._cancelled
+        return [entry for entry in queued if entry[1] not in cancelled]
+
+    def __getstate__(self):
+        """Pickle support for quiescent snapshots (see
+        :mod:`repro.faults.snapshot`): only the clock, the sequence
+        counter, and the dispatch total travel. The queues must be
+        logically empty — pending entries hold bound methods of live
+        generators, which cannot be serialized — and the observability
+        hooks (tracer/metrics/crash recorder) are reattached by the
+        restore path, never carried."""
+        live = self.pending_events()
+        if live:
+            raise ValueError(
+                f"snapshot of a non-quiescent environment: {len(live)} "
+                "pending event(s); park daemons and drain the lane first")
+        return (self.now, self._sequence, self.events_dispatched)
+
+    def __setstate__(self, state):
+        now, sequence, dispatched = state
+        self.__init__(now)
+        self._sequence = sequence
+        self.events_dispatched = dispatched

@@ -40,12 +40,13 @@ class Lock:
         self._waiters: Deque[Waitable] = deque()
 
     def acquire(self) -> Waitable:
-        waitable = Waitable(self.env)
         if not self.locked:
             self.locked = True
-            waitable._fire(None)
-        else:
-            self._waiters.append(waitable)
+            # Uncontended fast path: the environment's shared pre-fired
+            # grant token, no allocation.
+            return self.env._granted
+        waitable = Waitable(self.env)
+        self._waiters.append(waitable)
         return waitable
 
     def release(self) -> None:

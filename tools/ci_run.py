@@ -13,11 +13,17 @@ Suites (``--suite``, repeatable):
 - ``crash``   — ``smoke -m crash_smoke`` (budgeted crash sweeps; honours
   ``--jobs`` via ``REPRO_CRASH_JOBS``).
 - ``sweeps``  — the four crash workloads explored end-to-end with
-  ``--check --json``, fanned out across ``--jobs`` worker processes by
-  ``repro.parallel`` and aggregated from their JSON summaries.
-- ``bench``   — ``tools/bench_engine.py --check`` (advisory: wall-clock
-  noise on shared runners must not block merges; the summary still
-  surfaces).
+  ``--check --json``, plus the three phased workloads swept again in
+  snapshot warm-start mode (``--warm-start``, docs/CRASH_TESTING.md),
+  fanned out across ``--jobs`` worker processes by ``repro.parallel``
+  and aggregated from their JSON summaries. The warm/cold and
+  sequential/sharded byte-identity gates live in ``smoke -m
+  crash_smoke`` and ``tests/faults/test_snapshot.py``.
+- ``bench``   — ``tools/bench_engine.py --check``: **required** — exit 1
+  on a >20% events/sec regression against the committed
+  ``BENCH_engine.json``. The threshold is wide enough to clear
+  shared-runner noise; a genuine engine slowdown must not merge
+  silently (re-baseline deliberately with ``--update`` instead).
 - ``all``     — everything above, in that order.
 
 Examples::
@@ -125,6 +131,11 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
             argv += ["--budget", crash_budgets[workload]]
         sweeps.append(Step(f"sweep-{workload}", argv, env_extra=dict(SRC_ENV),
                            fanout=True, timeout=600))
+    for workload in ("fio", "db_bench", "kvstore"):
+        argv = _py("tools/crash_explore.py", "--workload", workload,
+                   "--warm-start", "--check", "--json")
+        sweeps.append(Step(f"sweep-{workload}-warm", argv,
+                           env_extra=dict(SRC_ENV), fanout=True, timeout=600))
     suites = {
         "lint": lint_steps(),
         "tier1": [Step("tier1-pytest", _py("-m", "pytest", "-x", "-q"),
@@ -139,7 +150,7 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
         "sweeps": sweeps,
         "bench": [Step("engine-bench", _py("tools/bench_engine.py",
                                            "--check"),
-                       env_extra=dict(SRC_ENV), advisory=True)],
+                       env_extra=dict(SRC_ENV))],
     }
     if suite == "all":
         return (suites["lint"] + suites["tier1"] + suites["docs"]

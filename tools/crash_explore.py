@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attach a request tracer to every rebuilt run; "
                              "the report is guaranteed byte-identical to an "
                              "untraced sweep")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="run the phased workload variant and resume "
+                             "post-checkpoint cases from a quiescent machine "
+                             "snapshot instead of replaying the prefix "
+                             "(docs/CRASH_TESTING.md); results are "
+                             "byte-identical warm vs. cold and sequential "
+                             "vs. sharded within the phased mode")
     parser.add_argument("--list-points", action="store_true",
                         help="enumerate and print the crash points, "
                              "then exit without exploring")
@@ -189,7 +196,8 @@ def main(argv=None) -> int:
     try:
         spec = SweepSpec(workload=args.workload, ops=args.ops,
                          budget=args.budget, subsets=args.subsets,
-                         seed=args.seed, trace=args.trace)
+                         seed=args.seed, trace=args.trace,
+                         warm_start=args.warm_start)
         jobs = args.jobs if args.jobs > 0 else None
         engine = ShardEngine(jobs=jobs, registry=registry)
         explorer = make_explorer(spec)
