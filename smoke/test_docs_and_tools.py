@@ -3,7 +3,8 @@
 Everything here shells out, because the point is that the *commands the
 documentation tells people to run* actually run: ``tools/check_docs.py``
 (docs drift), ``tools/metrics_report.py`` (the dashboard and its export
-modes), and the ``examples/`` scripts.
+modes), ``tools/tenant_report.py`` (the multi-tenant fairness CLI and
+its gates), and the ``examples/`` scripts.
 """
 
 import json
@@ -157,6 +158,32 @@ def test_metrics_report_dm_writecache():
     assert "block.dm_writecache.occupancy" in result.stdout
 
 
+def test_tenant_report_dashboard():
+    result = run_script("tools/tenant_report.py", "--tenants", "16",
+                        "--ops", "4")
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "Jain index" in out
+    assert "per class:" in out
+    assert "slowest tenants" in out
+
+
+def test_tenant_report_check_gate_json():
+    result = run_script("tools/tenant_report.py", "--tenants", "16",
+                        "--ops", "4", "--check", "--json")
+    assert result.returncode == 0, result.stderr
+    summary = json.loads(result.stdout)
+    assert summary["engine"]["completed"] == summary["engine"]["requests"]
+    assert summary["jain"] >= 0.8
+
+
+def test_tenant_report_verify_sharding():
+    result = run_script("tools/tenant_report.py", "--verify-sharding",
+                        "--seeds", "2", "--jobs", "2", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "byte-identical" in result.stdout
+
+
 @pytest.mark.parametrize("script", [
     "quickstart.py",
     "trace_profile.py",
@@ -164,6 +191,7 @@ def test_metrics_report_dm_writecache():
     "multi_instance.py",
     "legacy_database.py",
     "inspect_crash.py",
+    "multi_tenant.py",
 ])
 def test_example_scripts_run(script):
     result = run_script(os.path.join("examples", script), timeout=300)

@@ -12,6 +12,7 @@ from .log import (
     NvmmLog,
 )
 from .nvcache import Nvcache
+from .qos import DEFAULT_CLASSES, IOClass, QosManager, TenantQos
 from .radix import RadixTree
 from .read_cache import PageContent, PageDescriptor, ReadCache
 from .recovery import RecoveryReport, recover
@@ -28,6 +29,10 @@ __all__ = [
     "FOLLOWER_BASE",
     "HEADER_SIZE",
     "CleanupThread",
+    "QosManager",
+    "IOClass",
+    "TenantQos",
+    "DEFAULT_CLASSES",
     "RadixTree",
     "ReadCache",
     "PageDescriptor",

@@ -266,6 +266,8 @@ class Nvcache:
         page_size = config.page_size
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        if self.env.qos is not None:
+            self.env.qos.tally_write(len(data))
         began = self.env.now
         tracer = self.env.tracer
 
@@ -399,6 +401,8 @@ class Nvcache:
             self.stats.read_only_bypass += 1
             data = yield from self.kernel.pread(fd, nbytes, offset)
             self.stats.bytes_read += len(data)
+            if self.env.qos is not None:
+                self.env.qos.tally_read(len(data))
             if self._m_read_latency is not None:
                 self._m_read_latency.observe(
                     self.env.now - began,
@@ -436,6 +440,8 @@ class Nvcache:
                             tracer.end(self.env, token)
                 else:
                     self.stats.read_hits += 1
+                    if self.env.qos is not None:
+                        self.env.qos.tally_hit()
                     token = None
                     if tracer is not None:
                         token = tracer.begin(self.env, "core", "read_hit",
@@ -454,6 +460,8 @@ class Nvcache:
                 descriptor.atomic_lock.release()
             position += chunk
         self.stats.bytes_read += len(out)
+        if self.env.qos is not None:
+            self.env.qos.tally_read(len(out))
         if self._m_read_latency is not None:
             self._m_read_latency.observe(
                 self.env.now - began,
@@ -465,6 +473,8 @@ class Nvcache:
         """Cache miss: load the page from the kernel and, if it is dirty,
         run the dirty-miss procedure under the cleanup lock (paper §II-C)."""
         self.stats.read_misses += 1
+        if self.env.qos is not None:
+            self.env.qos.tally_miss()
         content = yield from self.read_cache.allocate_content()
         page_size = self.config.page_size
         base = descriptor.index * page_size

@@ -1,0 +1,381 @@
+"""Per-tenant / per-class QoS at the NVMM log (multi-tenant NVCache).
+
+One shared NVCache serving many logical tenants needs three controls the
+paper's single-application setting never required, all enforced at the
+choke point every durable write passes through — log-entry allocation
+(:meth:`~repro.core.log.NvmmLog.next_entries`):
+
+- **I/O classes** (Open-CAS io-class semantics): every request carries a
+  class tag; a class may be capped to a *share* of the log
+  (``max_share``), and when capacity frees, blocked requests are admitted
+  strictly in ``(class priority, arrival order)`` — priority classes
+  overtake bulk traffic at the admission gate.
+- **Per-tenant log-space quotas**: a tenant's in-flight (allocated but
+  not yet retired) entries may not exceed ``quota_entries``. The check
+  runs *before* the global ``log_full_wait``, so one tenant's burst
+  parks on its own quota instead of filling the shared ring and
+  stalling everyone (the noisy-neighbour failure mode).
+- **Quota-aware cleanup expediting**: retirement must advance the
+  persistent tail in log order (prefix semantics — see
+  ``NvmmLog.clear_entries``), so cleanup cannot reorder around a
+  blocked tenant; instead, any quota/admission waiter makes the cleanup
+  thread *urgent* (:meth:`QosManager.pressure`), collapsing the
+  batch-min wait so blocked tenants unblock at device speed.
+
+The manager is an optional attachment (``env.qos``), exactly like the
+tracer/metrics/crash hooks: when absent, every touchpoint is a single
+``is not None`` check and the simulation is bit-identical to a build
+without this module. When attached but with no context bound, admission
+returns without yielding, which is again bit-identical (pinned by
+``tests/tenancy/test_qos.py``).
+
+Deadlock guard: a request larger than its tenant quota (or class cap)
+is admitted once the tenant (class) has nothing else in flight —
+oversized writes run alone instead of waiting forever.
+
+Metrics live under ``core.qos.*`` (docs/MULTITENANCY.md); blocked time
+is attributed to the ``core.quota_wait`` / ``core.admission_wait``
+critical-path segments of the current trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Environment, Waitable
+
+#: The canonical class set (documented in docs/MULTITENANCY.md). Lower
+#: priority value = admitted first. ``batch`` may hold at most half the
+#: log, so bulk ingest can never squeeze interactive traffic out.
+DEFAULT_CLASSES = None  # assigned below, after IOClass is defined
+
+
+@dataclass(frozen=True)
+class IOClass:
+    """One I/O class: a priority level plus an optional log-share cap."""
+
+    name: str
+    priority: int = 1
+    #: Max fraction of the log this class may occupy (None = uncapped).
+    #: Resolved against the log geometry when the manager is attached.
+    max_share: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_share is not None and not 0.0 < self.max_share <= 1.0:
+            raise ValueError(f"max_share {self.max_share} outside (0, 1]")
+
+
+DEFAULT_CLASSES = (
+    IOClass("interactive", priority=0),
+    IOClass("standard", priority=1),
+    IOClass("batch", priority=2, max_share=0.5),
+)
+
+
+class TenantQos:
+    """Per-tenant QoS state and accounting (volatile — quotas are a
+    runtime fairness mechanism, not a durability structure; recovery
+    rebuilds nothing here)."""
+
+    __slots__ = ("tenant_id", "quota_entries", "weight", "charged",
+                 "peak_charged", "quota_wait_s", "admission_wait_s",
+                 "read_ops", "write_ops", "bytes_read", "bytes_written",
+                 "read_hits", "read_misses")
+
+    def __init__(self, tenant_id: str, quota_entries: Optional[int] = None,
+                 weight: float = 1.0):
+        if quota_entries is not None and quota_entries < 1:
+            raise ValueError(f"quota_entries {quota_entries} must be >= 1")
+        self.tenant_id = tenant_id
+        self.quota_entries = quota_entries
+        self.weight = weight
+        self.charged = 0          # entries allocated, not yet retired
+        self.peak_charged = 0
+        self.quota_wait_s = 0.0
+        self.admission_wait_s = 0.0
+        self.read_ops = 0
+        self.write_ops = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_hits = 0
+        self.read_misses = 0
+
+    @property
+    def quota_occupancy(self) -> float:
+        if not self.quota_entries:
+            return 0.0
+        return self.charged / self.quota_entries
+
+    def hit_ratio(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+
+class _ClassState:
+    __slots__ = ("ioclass", "charged", "max_entries", "ops")
+
+    def __init__(self, ioclass: IOClass):
+        self.ioclass = ioclass
+        self.charged = 0
+        self.max_entries: Optional[int] = None  # resolved from log size
+        self.ops = 0
+
+
+class QosManager:
+    """Admission control, quotas, and per-tenant accounting for one
+    shared NVCache. Attach with ``env.qos = manager``."""
+
+    def __init__(self, env: Environment, classes=DEFAULT_CLASSES,
+                 log_entries: Optional[int] = None):
+        self.env = env
+        self.log_entries = log_entries
+        self._classes: Dict[str, _ClassState] = {}
+        for ioclass in classes:
+            if ioclass.name in self._classes:
+                raise ValueError(f"duplicate I/O class {ioclass.name!r}")
+            state = _ClassState(ioclass)
+            if ioclass.max_share is not None and log_entries:
+                state.max_entries = max(1, int(ioclass.max_share * log_entries))
+            self._classes[ioclass.name] = state
+        self._tenants: Dict[str, TenantQos] = {}
+        #: Process -> (tenant, class, bind_depth); context for tallies
+        #: and admission. Keyed off ``env.active_process`` like the
+        #: tracer's span stacks.
+        self._contexts: Dict[object, list] = {}
+        #: seq -> (tenant, class) of every in-flight log entry.
+        self._owners: Dict[int, Tuple[TenantQos, _ClassState]] = {}
+        #: Blocked admissions: [priority, order, waitable, tenant, class,
+        #: count, is_quota].
+        self._waiters: List[list] = []
+        self._order = 0
+        self._charged_total = 0
+        self.admission_waits = 0
+        self.quota_waits = 0
+        self._m_wait_latency = None
+
+    # -- tenants and contexts ---------------------------------------------
+
+    def register_tenant(self, tenant_id: str,
+                        quota_entries: Optional[int] = None,
+                        weight: float = 1.0) -> TenantQos:
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        tenant = TenantQos(tenant_id, quota_entries, weight)
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def tenant(self, tenant_id: str) -> TenantQos:
+        return self._tenants[tenant_id]
+
+    def tenants(self) -> List[TenantQos]:
+        return list(self._tenants.values())
+
+    def has_tenant(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def classes(self) -> List[IOClass]:
+        return [state.ioclass for state in self._classes.values()]
+
+    def bind(self, tenant_id: str, io_class: str) -> None:
+        """Attribute everything the active process does from here until
+        :meth:`unbind` to ``(tenant, class)``. Re-entrant: nested binds
+        of the same process stack by depth (``TenantLibc`` binds around
+        every call even when the traffic engine already bound the op)."""
+        key = self.env.active_process
+        context = self._contexts.get(key)
+        if context is not None:
+            context[2] += 1
+            return
+        self._contexts[key] = [self._tenants[tenant_id],
+                               self._classes[io_class], 1]
+
+    def unbind(self) -> None:
+        key = self.env.active_process
+        context = self._contexts.get(key)
+        if context is None:
+            return
+        context[2] -= 1
+        if context[2] <= 0:
+            del self._contexts[key]
+
+    def current_context(self) -> Optional[Tuple[TenantQos, _ClassState]]:
+        context = self._contexts.get(self.env.active_process)
+        if context is None:
+            return None
+        return context[0], context[1]
+
+    def context_tags(self) -> Optional[Tuple[str, str]]:
+        """(tenant_id, class_name) of the active process, for span
+        tagging — see ``Tracer.begin``."""
+        context = self._contexts.get(self.env.active_process)
+        if context is None:
+            return None
+        return context[0].tenant_id, context[1].ioclass.name
+
+    # -- admission (called by NvmmLog.next_entries) ------------------------
+
+    def _fits(self, tenant: TenantQos, cls: _ClassState, count: int) -> bool:
+        quota = tenant.quota_entries
+        if quota is not None and tenant.charged + count > quota \
+                and tenant.charged > 0:
+            return False
+        if quota is not None and tenant.charged > 0 and count > quota:
+            return False
+        cap = cls.max_entries
+        if cap is not None and cls.charged + count > cap and cls.charged > 0:
+            return False
+        return True
+
+    def _quota_is_limit(self, tenant: TenantQos, count: int) -> bool:
+        quota = tenant.quota_entries
+        return (quota is not None and tenant.charged + count > quota
+                and tenant.charged > 0)
+
+    def _charge(self, tenant: TenantQos, cls: _ClassState, count: int) -> None:
+        tenant.charged += count
+        if tenant.charged > tenant.peak_charged:
+            tenant.peak_charged = tenant.charged
+        cls.charged += count
+        self._charged_total += count
+
+    def admit(self, count: int):
+        """Generator the log delegates to before allocating ``count``
+        entries. Yields nothing when the context is unbound or the
+        request fits — the bit-identical fast path."""
+        context = self.current_context()
+        if context is None:
+            return
+        tenant, cls = context
+        if self._fits(tenant, cls, count):
+            self._charge(tenant, cls, count)
+            return
+        is_quota = self._quota_is_limit(tenant, count)
+        if is_quota:
+            self.quota_waits += 1
+        else:
+            self.admission_waits += 1
+        began = self.env.now
+        waiter = Waitable(self.env)
+        self._order += 1
+        self._waiters.append([cls.ioclass.priority, self._order, waiter,
+                              tenant, cls, count, is_quota])
+        yield waiter  # fired (and charged) by _release when it fits
+        waited = self.env.now - began
+        if is_quota:
+            tenant.quota_wait_s += waited
+        else:
+            tenant.admission_wait_s += waited
+        if self._m_wait_latency is not None:
+            self._m_wait_latency.observe(waited)
+        tracer = self.env.tracer
+        if tracer is not None and waited > 0.0:
+            tracer.charge(self.env, "core",
+                          "quota_wait" if is_quota else "admission_wait",
+                          waited)
+
+    def note_alloc(self, first_seq: int, count: int) -> None:
+        """Record ownership of freshly allocated entries (the admission
+        charge already happened in :meth:`admit`)."""
+        context = self.current_context()
+        if context is None:
+            return
+        owner = (context[0], context[1])
+        for seq in range(first_seq, first_seq + count):
+            self._owners[seq] = owner
+
+    def note_retired(self, seqs) -> None:
+        """Release the charge of retired entries and wake admissible
+        waiters in (priority, arrival) order."""
+        released = False
+        for seq in seqs:
+            owner = self._owners.pop(seq, None)
+            if owner is not None:
+                tenant, cls = owner
+                tenant.charged -= 1
+                cls.charged -= 1
+                self._charged_total -= 1
+                released = True
+        if released and self._waiters:
+            self._release()
+
+    def _release(self) -> None:
+        self._waiters.sort(key=lambda record: (record[0], record[1]))
+        still_blocked = []
+        for record in self._waiters:
+            _priority, _order, waiter, tenant, cls, count, _is_quota = record
+            if self._fits(tenant, cls, count):
+                self._charge(tenant, cls, count)
+                waiter._fire(None)
+            else:
+                still_blocked.append(record)
+        self._waiters = still_blocked
+
+    def pressure(self) -> bool:
+        """True while any admission is blocked — the cleanup thread
+        treats this as urgency, expediting retirement (quota-aware
+        cleanup scheduling)."""
+        return bool(self._waiters)
+
+    # -- per-tenant accounting (called from the NVCache hot paths) ---------
+
+    def tally_write(self, nbytes: int) -> None:
+        context = self._contexts.get(self.env.active_process)
+        if context is not None:
+            context[0].write_ops += 1
+            context[0].bytes_written += nbytes
+            context[1].ops += 1
+
+    def tally_read(self, nbytes: int) -> None:
+        context = self._contexts.get(self.env.active_process)
+        if context is not None:
+            context[0].read_ops += 1
+            context[0].bytes_read += nbytes
+            context[1].ops += 1
+
+    def tally_hit(self) -> None:
+        context = self._contexts.get(self.env.active_process)
+        if context is not None:
+            context[0].read_hits += 1
+
+    def tally_miss(self) -> None:
+        context = self._contexts.get(self.env.active_process)
+        if context is not None:
+            context[0].read_misses += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def inflight_entries(self) -> int:
+        return self._charged_total
+
+    def blocked(self) -> int:
+        return len(self._waiters)
+
+    def max_quota_occupancy(self) -> float:
+        occupancies = [tenant.quota_occupancy
+                       for tenant in self._tenants.values()
+                       if tenant.quota_entries]
+        return max(occupancies) if occupancies else 0.0
+
+    def register_metrics(self, registry) -> None:
+        """Expose the manager under ``core.qos.*``
+        (docs/MULTITENANCY.md, enforced by tools/check_docs.py)."""
+        m = registry.scope("core.qos")
+        m.counter("admission_waits", unit="ops",
+                  help="appends blocked on a class share cap",
+                  fn=lambda: self.admission_waits)
+        m.counter("quota_waits", unit="ops",
+                  help="appends blocked on a tenant log-space quota",
+                  fn=lambda: self.quota_waits)
+        m.gauge("inflight_entries", unit="entries",
+                help="entries admitted and not yet retired",
+                fn=self.inflight_entries)
+        m.gauge("blocked", unit="ops",
+                help="admissions currently parked at the gate",
+                fn=self.blocked)
+        m.gauge("quota_occupancy", unit="ratio",
+                help="max over tenants of charged/quota",
+                fn=self.max_quota_occupancy)
+        self._m_wait_latency = m.histogram(
+            "wait_latency", unit="s",
+            help="time blocked at the admission gate per blocked append")

@@ -3,6 +3,7 @@
 from .aio import Aio, AioControlBlock, EINPROGRESS
 from .libc import Libc, NvcacheLibc
 from .stdio import BUFSIZ, File, Stdio
+from .tenant import TenantLibc
 
-__all__ = ["Libc", "NvcacheLibc", "Stdio", "File", "BUFSIZ",
+__all__ = ["Libc", "NvcacheLibc", "TenantLibc", "Stdio", "File", "BUFSIZ",
            "Aio", "AioControlBlock", "EINPROGRESS"]

@@ -83,6 +83,9 @@ SPAN_NAMES = frozenset({
 SEGMENT_NAMES = frozenset({
     "core.lock_wait", "core.log_full_wait", "core.write_overhead",
     "core.read_overhead", "core.retire",
+    # Multi-tenant QoS admission gate (repro.core.qos): time blocked on
+    # a tenant log-space quota vs. an I/O-class share cap.
+    "core.quota_wait", "core.admission_wait",
     "kernel.syscall", "kernel.page_cache_lookup", "kernel.copy",
     "fs.journal_cpu", "fs.block_request",
     "block.queue_wait", "block.read_service", "block.write_service",
@@ -219,6 +222,15 @@ class Tracer:
                 return token
             trace_id = next(self._next_trace)
             parent_id = None
+            # Root spans of tenant-attributed work carry the tenant id
+            # and I/O class, so traces slice per tenant (multi-tenancy;
+            # see docs/MULTITENANCY.md).
+            qos = env.qos
+            if qos is not None:
+                tags = qos.context_tags()
+                if tags is not None:
+                    args = dict(args)
+                    args["tenant"], args["io_class"] = tags
         track = process.name if process is not None else "main"
         span = Span(trace_id=trace_id, span_id=next(self._next_span),
                     parent_id=parent_id, layer=layer, name=name, track=track,

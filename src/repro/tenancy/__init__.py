@@ -1,0 +1,47 @@
+"""Multi-tenant traffic over one shared NVCache.
+
+The paper evaluates NVCache with one application driving one private
+log; this package is the ROADMAP's production-scale counterpart — an
+*open-loop* arrival engine that multiplexes hundreds to thousands of
+logical clients (fio, db_bench, ycsb, kvstore, sqldb mixes) over a
+bounded pool of simulated threads, decoupling "a workload" from
+"a process":
+
+- :mod:`~repro.tenancy.schedule` — seeded steady/bursty/diurnal arrival
+  processes (times precomputed, so runs are deterministic);
+- :mod:`~repro.tenancy.clients`  — per-kind logical clients, each
+  scoped to its tenant's namespace through
+  :class:`~repro.libc.tenant.TenantLibc`;
+- :mod:`~repro.tenancy.engine`   — the traffic engine: dispatcher +
+  worker pool, per-tenant/per-class QoS via
+  :class:`~repro.core.qos.QosManager`, fairness reporting
+  (Jain index, starvation gauge, per-class p99);
+- :mod:`~repro.tenancy.sweep`    — seed sweeps sharded over
+  :mod:`repro.parallel` with byte-identical merged results.
+
+See docs/MULTITENANCY.md for the model and the CLI walkthrough
+(``tools/tenant_report.py``).
+"""
+
+from .clients import TenantSpec, make_client, make_mix
+from .engine import FairnessReport, TrafficEngine, jain_index
+from .schedule import (ArrivalSchedule, BurstySchedule, DiurnalSchedule,
+                       SteadySchedule, derive_seed, make_schedule)
+from .sweep import run_cell, sweep_seeds
+
+__all__ = [
+    "TrafficEngine",
+    "FairnessReport",
+    "jain_index",
+    "TenantSpec",
+    "make_client",
+    "make_mix",
+    "ArrivalSchedule",
+    "SteadySchedule",
+    "BurstySchedule",
+    "DiurnalSchedule",
+    "make_schedule",
+    "derive_seed",
+    "run_cell",
+    "sweep_seeds",
+]

@@ -1,0 +1,398 @@
+"""The multi-tenant traffic engine: open-loop arrivals over a bounded
+worker pool against one shared NVCache.
+
+Shape of a run (all inside one deterministic simulation):
+
+1. **Build** — one storage stack (:func:`repro.harness.build_stack`),
+   one :class:`~repro.core.qos.QosManager` attached to ``env.qos``
+   (unless ``qos=False``, in which case the stack is bit-identical to a
+   single-tenant build), one :class:`~repro.libc.tenant.TenantLibc` and
+   client per spec.
+2. **Setup** — clients lay out their namespaces/files sequentially,
+   then the stack settles (cleanup drains), so measured traffic starts
+   from a quiesced log.
+3. **Traffic** — a single *dispatcher* process walks the precomputed,
+   globally sorted arrival list and feeds a FIFO
+   :class:`~repro.sim.sync.Queue`; ``workers`` simulated threads pull
+   requests and execute them. Workers are the bounded resource —
+   thousands of logical clients share them, which is the whole point
+   (decoupling "a workload" from "a process"). A per-tenant lock keeps
+   each tenant's op stream sequential (the app-level clients are not
+   reentrant); ops of *different* tenants interleave freely.
+4. **Report** — per-tenant and per-class latency/fairness: slowdown
+   (mean end-to-end latency over mean service time — kind-independent,
+   so a batch tenant and an interactive tenant compare meaningfully),
+   Jain's fairness index over the reciprocal slowdowns, and a
+   starvation gauge (``1 - min_share/max_share``; 0 = perfectly even).
+
+Determinism: arrivals are precomputed from derived seeds and sorted by
+``(time, tenant, op)``; the single dispatcher plus FIFO queue makes the
+worker interleaving a pure function of the event loop, which is itself
+deterministic — so clocks, stats, and crash-point streams are
+byte-identical across repeats and across :mod:`repro.parallel` shards
+(pinned by ``tests/tenancy/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..core.qos import DEFAULT_CLASSES, QosManager
+from ..harness.systems import Scale, StorageStack, build_stack, nvcache_config
+from ..libc.tenant import TenantLibc
+from ..sim.sync import Lock, Queue
+from .clients import TenantClient, TenantSpec, make_client
+from .schedule import ArrivalSchedule, SteadySchedule, derive_seed
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def jain_index(shares: List[float]) -> float:
+    """Jain's fairness index over positive shares: 1 is perfectly fair,
+    1/n is maximally unfair."""
+    if not shares:
+        return 1.0
+    total = sum(shares)
+    squares = sum(share * share for share in shares)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(shares) * squares)
+
+
+@dataclass
+class _TenantRun:
+    """Mutable per-tenant measurement state during a run."""
+
+    spec: TenantSpec
+    client: TenantClient
+    lock: Lock
+    arrivals: List[float]
+    latencies: List[float] = field(default_factory=list)
+    services: List[float] = field(default_factory=list)
+    queue_waits: List[float] = field(default_factory=list)
+
+    def slowdown(self) -> float:
+        if not self.latencies:
+            return 1.0
+        mean_latency = sum(self.latencies) / len(self.latencies)
+        mean_service = sum(self.services) / len(self.services)
+        if mean_service <= 0.0:
+            return 1.0
+        return max(1.0, mean_latency / mean_service)
+
+
+@dataclass
+class FairnessReport:
+    """The run's outcome, JSON-safe and canonically ordered — two runs
+    are byte-identical iff their ``digest()`` strings match."""
+
+    clock: float
+    jain: float
+    starvation: float
+    tenants: Dict[str, dict]
+    classes: Dict[str, dict]
+    engine: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        return {
+            "clock": self.clock,
+            "jain": self.jain,
+            "starvation": self.starvation,
+            "tenants": self.tenants,
+            "classes": self.classes,
+            "engine": self.engine,
+        }
+
+    def digest(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable fairness table (tools/tenant_report.py)."""
+        lines = [
+            f"clock {self.clock:.6f}s  "
+            f"requests {self.engine['requests']}  "
+            f"workers {self.engine['workers']}",
+            f"Jain index {self.jain:.4f}  starvation {self.starvation:.4f}",
+            "",
+            "per class:",
+        ]
+        for name, record in sorted(self.classes.items()):
+            lines.append(f"  {name:<12} ops {record['ops']:>7}  "
+                         f"mean {record['mean_latency'] * 1e3:8.3f}ms  "
+                         f"p99 {record['p99_latency'] * 1e3:8.3f}ms")
+        ranked = sorted(self.tenants.items(),
+                        key=lambda item: -item[1]["slowdown"])
+        lines.append("")
+        lines.append(f"slowest tenants (of {len(ranked)}):")
+        for tenant_id, record in ranked[:top]:
+            lines.append(
+                f"  {tenant_id:<8} {record['kind']:<9} "
+                f"{record['io_class']:<12} ops {record['ops']:>5}  "
+                f"p99 {record['p99_latency'] * 1e3:8.3f}ms  "
+                f"slowdown {record['slowdown']:6.2f}  "
+                f"hit {record['hit_ratio']:.2f}  "
+                f"quota peak {record['quota_peak']:.2f}")
+        return "\n".join(lines)
+
+
+class TrafficEngine:
+    """Drive ``specs`` tenants against one shared stack."""
+
+    def __init__(self, specs: List[TenantSpec], workers: int = 32,
+                 seed: int = 0, schedule: Optional[ArrivalSchedule] = None,
+                 stack_name: str = "nvcache+ssd",
+                 scale: Optional[Scale] = None,
+                 qos: bool = True, classes=DEFAULT_CLASSES,
+                 metrics: bool = False, tracing: bool = False):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        ids = [spec.tenant_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("tenant ids must be unique")
+        self.specs = list(specs)
+        self.workers = workers
+        self.seed = seed
+        self.schedule = schedule or SteadySchedule(duration=1.0)
+        self.stack_name = stack_name
+        self.scale = scale or Scale(4096)
+        self.qos_enabled = qos
+        self.classes = classes
+        self.metrics_enabled = metrics
+        self.tracing_enabled = tracing
+        self.stack: Optional[StorageStack] = None
+        self.qos: Optional[QosManager] = None
+        self._runs: List[_TenantRun] = []
+        self._dispatched = 0
+        self._completed = 0
+        self._queue: Optional[Queue] = None
+        self._m_queue_wait = None
+        self._m_request_latency = None
+        self._m_class_latency: Dict[str, object] = {}
+
+    # -- fairness over the live measurement state --------------------------
+
+    def _shares(self) -> List[float]:
+        return [1.0 / run.slowdown() for run in self._runs if run.latencies]
+
+    def current_jain(self) -> float:
+        return jain_index(self._shares())
+
+    def current_starvation(self) -> float:
+        shares = self._shares()
+        if not shares:
+            return 0.0
+        return 1.0 - min(shares) / max(shares)
+
+    def register_metrics(self, registry) -> None:
+        """The engine's ``tenancy.*`` metric surface (canonical names
+        only — per-tenant detail lives in the report, so a thousand
+        tenants cannot explode the registry; docs/MULTITENANCY.md)."""
+        m = registry.scope("tenancy.engine")
+        m.counter("requests_total", unit="ops",
+                  help="requests dispatched to the worker pool",
+                  fn=lambda: self._dispatched)
+        m.counter("requests_completed", unit="ops",
+                  help="requests finished by workers",
+                  fn=lambda: self._completed)
+        m.gauge("queue_depth", unit="ops",
+                help="requests waiting for a worker",
+                fn=lambda: len(self._queue._items) if self._queue else 0)
+        m.gauge("workers", unit="threads",
+                help="bounded simulated worker threads",
+                fn=lambda: self.workers)
+        self._m_queue_wait = m.histogram(
+            "queue_wait", unit="s",
+            help="arrival to service start (open-loop queueing delay)")
+        self._m_request_latency = m.histogram(
+            "request_latency", unit="s",
+            help="arrival to completion, end to end")
+        f = registry.scope("tenancy.fairness")
+        f.gauge("jain_index", unit="ratio",
+                help="Jain fairness over reciprocal per-tenant slowdowns",
+                fn=self.current_jain)
+        f.gauge("starvation", unit="ratio",
+                help="1 - min_share/max_share (0 = perfectly even)",
+                fn=self.current_starvation)
+        f.gauge("slowdown_max", unit="ratio",
+                help="worst per-tenant slowdown so far",
+                fn=lambda: max((run.slowdown() for run in self._runs
+                                if run.latencies), default=1.0))
+        c = registry.scope("tenancy.class")
+        for ioclass in self.classes:
+            self._m_class_latency[ioclass.name] = c.histogram(
+                f"{ioclass.name}_latency", unit="s",
+                help=f"end-to-end latency of {ioclass.name}-class requests")
+
+    # -- build -------------------------------------------------------------
+
+    def build(self) -> StorageStack:
+        """Construct the stack, QoS manager, and clients without running
+        — callers may attach a crash-point recorder or inspect the
+        registry before traffic starts. ``run()`` builds implicitly when
+        this was not called."""
+        config = nvcache_config(self.scale)
+        self.stack = build_stack(self.stack_name, scale=self.scale,
+                                 config=config,
+                                 metrics=self.metrics_enabled,
+                                 tracing=self.tracing_enabled)
+        env = self.stack.env
+        if self.qos_enabled:
+            self.qos = QosManager(env, classes=self.classes,
+                                  log_entries=config.log_entries)
+            env.qos = self.qos
+            for spec in self.specs:
+                self.qos.register_tenant(spec.tenant_id,
+                                         quota_entries=spec.quota_entries,
+                                         weight=spec.weight)
+            if self.stack.metrics is not None:
+                self.qos.register_metrics(self.stack.metrics)
+        if self.stack.metrics is not None:
+            self.register_metrics(self.stack.metrics)
+        self._runs = []
+        for index, spec in enumerate(self.specs):
+            libc = TenantLibc(self.stack.libc, spec.tenant_id, spec.io_class)
+            client = make_client(spec, libc)
+            arrival_rng = random.Random(
+                derive_seed(self.seed, "arrivals", spec.tenant_id))
+            arrivals = self.schedule.arrivals(arrival_rng, client.operations)
+            self._runs.append(_TenantRun(spec=spec, client=client,
+                                         lock=Lock(env,
+                                                   name=f"tenant-{index}"),
+                                         arrivals=arrivals))
+        return self.stack
+
+    # -- simulated processes ----------------------------------------------
+
+    def _dispatcher(self) -> Generator:
+        env = self.stack.env
+        requests = sorted(
+            (time, tenant_index, op_index)
+            for tenant_index, run in enumerate(self._runs)
+            for op_index, time in enumerate(run.arrivals))
+        base = env.now
+        for offset, tenant_index, op_index in requests:
+            due = base + offset
+            if due > env.now:
+                yield env.timeout(due - env.now)
+            self._dispatched += 1
+            yield self._queue.put((tenant_index, op_index, due))
+        for _ in range(self.workers):
+            yield self._queue.put(None)
+
+    def _worker(self) -> Generator:
+        env = self.stack.env
+        while True:
+            item = yield self._queue.get()
+            if item is None:
+                return
+            tenant_index, op_index, arrival = item
+            run = self._runs[tenant_index]
+            # Per-tenant serialization: clients (LSM/B-tree state) are
+            # not reentrant; tenants still interleave with each other.
+            yield run.lock.acquire()
+            try:
+                start = env.now
+                yield from run.client.run_op(op_index)
+            finally:
+                run.lock.release()
+            end = env.now
+            run.queue_waits.append(start - arrival)
+            run.services.append(end - start)
+            run.latencies.append(end - arrival)
+            self._completed += 1
+            if self._m_queue_wait is not None:
+                self._m_queue_wait.observe(start - arrival)
+                self._m_request_latency.observe(end - arrival)
+                class_metric = self._m_class_latency.get(run.spec.io_class)
+                if class_metric is not None:
+                    class_metric.observe(end - arrival)
+
+    def _body(self) -> Generator:
+        env = self.stack.env
+        for run in self._runs:
+            yield from run.client.setup()
+        yield from self.stack.settle()
+        self._queue = Queue(env, name="tenancy-requests")
+        dispatcher = env.spawn(self._dispatcher(), name="tenancy-dispatcher")
+        workers = [env.spawn(self._worker(), name=f"tenancy-worker{index}")
+                   for index in range(self.workers)]
+        yield dispatcher.join()
+        for worker in workers:
+            yield worker.join()
+        for run in self._runs:
+            yield from run.client.teardown()
+        yield from self.stack.teardown()
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> FairnessReport:
+        if self.stack is None:
+            self.build()
+        self.stack.env.run_process(self._body(), name="tenancy-engine")
+        return self._report()
+
+    def _report(self) -> FairnessReport:
+        tenants: Dict[str, dict] = {}
+        class_latencies: Dict[str, List[float]] = {}
+        for run in self._runs:
+            spec = run.spec
+            latencies = sorted(run.latencies)
+            record = {
+                "kind": spec.kind,
+                "io_class": spec.io_class,
+                "ops": len(run.latencies),
+                "mean_latency": (sum(latencies) / len(latencies)
+                                 if latencies else 0.0),
+                "p99_latency": _percentile(latencies, 0.99),
+                "slowdown": run.slowdown(),
+                "hit_ratio": 0.0,
+                "quota_peak": 0.0,
+                "quota_wait_s": 0.0,
+                "admission_wait_s": 0.0,
+            }
+            if self.qos is not None:
+                tenant = self.qos.tenant(spec.tenant_id)
+                record["hit_ratio"] = tenant.hit_ratio()
+                record["quota_peak"] = (
+                    tenant.peak_charged / tenant.quota_entries
+                    if tenant.quota_entries else 0.0)
+                record["quota_wait_s"] = tenant.quota_wait_s
+                record["admission_wait_s"] = tenant.admission_wait_s
+            tenants[spec.tenant_id] = record
+            class_latencies.setdefault(spec.io_class, []).extend(run.latencies)
+        classes = {}
+        for name, latencies in class_latencies.items():
+            latencies.sort()
+            classes[name] = {
+                "ops": len(latencies),
+                "mean_latency": (sum(latencies) / len(latencies)
+                                 if latencies else 0.0),
+                "p99_latency": _percentile(latencies, 0.99),
+            }
+        return FairnessReport(
+            clock=self.stack.env.now,
+            jain=self.current_jain(),
+            starvation=self.current_starvation(),
+            tenants=tenants,
+            classes=classes,
+            engine={
+                "requests": self._dispatched,
+                "completed": self._completed,
+                "workers": self.workers,
+                "tenants": len(self.specs),
+                "qos": self.qos_enabled,
+                "stack": self.stack_name,
+                "seed": self.seed,
+            },
+        )

@@ -1,0 +1,138 @@
+"""Seeded arrival processes for the multi-tenant traffic engine.
+
+Open-loop means arrival times are a property of the *schedule*, not of
+the system's response: every tenant's arrivals are precomputed before
+the simulation starts, so a slow stack makes queues grow instead of
+silently throttling offered load (the coordinated-omission trap).
+
+All randomness flows from explicit seeds through private
+``random.Random`` instances. Seed derivation uses FNV-1a over the part
+reprs — NEVER Python's ``hash()``, which is salted per process
+(``PYTHONHASHSEED``) and would break the byte-identity guarantees the
+acceptance gates pin (same seed ⇒ same schedule, in-process or inside a
+:mod:`repro.parallel` shard worker).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(*parts) -> int:
+    """A stable 63-bit seed from ``parts`` (ints/strings), FNV-1a."""
+    acc = _FNV_OFFSET
+    for part in parts:
+        for byte in repr(part).encode("utf-8"):
+            acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+        acc = ((acc ^ 0x2C) * _FNV_PRIME) & _MASK64  # part separator
+    return acc >> 1
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Base schedule: ``count`` arrivals uniform over ``duration``
+    simulated seconds. Subclasses shape the density; all of them return
+    a sorted list and consume only the caller's RNG."""
+
+    duration: float = 1.0
+
+    def arrivals(self, rng: random.Random, count: int) -> List[float]:
+        times = [rng.random() * self.duration for _ in range(count)]
+        times.sort()
+        return times
+
+
+@dataclass(frozen=True)
+class SteadySchedule(ArrivalSchedule):
+    """Uniform (Poisson-like) arrivals — the baseline."""
+
+
+@dataclass(frozen=True)
+class BurstySchedule(ArrivalSchedule):
+    """A fraction of the traffic lands inside a few narrow burst
+    windows; the rest is uniform background. This is the schedule the
+    quota/fairness gates run under: bursts from ``batch`` tenants are
+    what the admission gate must absorb without starving anyone."""
+
+    bursts: int = 4
+    #: Fraction of arrivals concentrated into the burst windows.
+    burst_fraction: float = 0.7
+    #: Width of one burst window as a fraction of the duration.
+    burst_width: float = 0.03
+
+    def arrivals(self, rng: random.Random, count: int) -> List[float]:
+        times: List[float] = []
+        width = self.duration * self.burst_width
+        # Burst centres are evenly spaced, so shards agree on them
+        # without sharing RNG state.
+        centres = [self.duration * (index + 0.5) / self.bursts
+                   for index in range(self.bursts)]
+        for _ in range(count):
+            if rng.random() < self.burst_fraction:
+                centre = centres[rng.randrange(self.bursts)]
+                offset = (rng.random() - 0.5) * width
+                times.append(min(max(centre + offset, 0.0), self.duration))
+            else:
+                times.append(rng.random() * self.duration)
+        times.sort()
+        return times
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule(ArrivalSchedule):
+    """Sinusoidal day/night density with ``peaks`` peaks, sampled by
+    inversion of the cumulative rate (no rejection, so every arrival
+    costs exactly one RNG draw)."""
+
+    peaks: int = 2
+    #: Peak-to-trough amplitude in [0, 1): 0 is steady.
+    amplitude: float = 0.8
+
+    def arrivals(self, rng: random.Random, count: int) -> List[float]:
+        # Rate r(t) = 1 + A sin(2π k t/D); cumulative R(t) = t - (A D /
+        # 2π k)(cos(2π k t/D) - 1), normalized to [0, 1]. Invert by
+        # bisection — deterministic, and fast enough for precompute.
+        two_pi_k = 2.0 * math.pi * self.peaks
+
+        def cumulative(t: float) -> float:
+            x = t / self.duration
+            return (x - (self.amplitude / two_pi_k)
+                    * (math.cos(two_pi_k * x) - 1.0))
+
+        times: List[float] = []
+        for _ in range(count):
+            target = rng.random()
+            lo, hi = 0.0, self.duration
+            for _ in range(40):
+                mid = (lo + hi) / 2.0
+                if cumulative(mid) < target:
+                    lo = mid
+                else:
+                    hi = mid
+            times.append((lo + hi) / 2.0)
+        times.sort()
+        return times
+
+
+_SCHEDULES = {
+    "steady": SteadySchedule,
+    "bursty": BurstySchedule,
+    "diurnal": DiurnalSchedule,
+}
+
+
+def make_schedule(kind: str, duration: float = 1.0) -> ArrivalSchedule:
+    """Schedule factory for CLI/sweep use (``steady|bursty|diurnal``)."""
+    try:
+        factory = _SCHEDULES[kind]
+    except KeyError:
+        raise ValueError(f"unknown schedule kind {kind!r}; "
+                         f"one of {sorted(_SCHEDULES)}") from None
+    return factory(duration=duration)

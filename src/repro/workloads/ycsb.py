@@ -52,7 +52,8 @@ class YcsbWorkload:
     def __init__(self, env: Environment, db, records: int = 1000,
                  operations: int = 1000, value_size: int = 100,
                  theta: float = 0.99, seed: int = 0,
-                 scan_length: int = 10, op_overhead: float = 2e-6):
+                 scan_length: int = 10, op_overhead: float = 2e-6,
+                 op_log: Optional[List] = None):
         self.env = env
         self.db = db
         self.records = records
@@ -62,6 +63,12 @@ class YcsbWorkload:
         self.seed = seed
         self.scan_length = scan_length
         self.op_overhead = op_overhead
+        # Optional op-stream capture: when a list is passed, run()
+        # appends one (operation, key, value-or-None) tuple per op.
+        # Pure observation — the docs/WORKLOADS.md seeding contract
+        # (same seed ⇒ byte-identical stream) is pinned against it by
+        # tests/workloads/test_ycsb_seeding.py.
+        self.op_log = op_log
         self._put = getattr(db, "put", None) or db.insert
         self._get = getattr(db, "get", None) or db.select
         self._scan = getattr(db, "scan", None)
@@ -103,19 +110,26 @@ class YcsbWorkload:
             else:
                 key_id = ranks[op_index] % max(1, self._inserted)
             key = make_key(key_id)
+            value = None
             if operation == "read":
                 yield from self._get(key)
             elif operation == "update":
-                yield from self._put(key, self._value(rng))
+                value = self._value(rng)
+                yield from self._put(key, value)
             elif operation == "insert":
-                yield from self._put(make_key(self._inserted), self._value(rng))
+                key = make_key(self._inserted)
+                value = self._value(rng)
+                yield from self._put(key, value)
                 self._inserted += 1
             elif operation == "scan":
                 yield from self._scan(key, self.scan_length)
             elif operation == "rmw":
+                value = self._value(rng)
                 yield from self._get(key)
-                yield from self._put(key, self._value(rng))
+                yield from self._put(key, value)
             counts[operation] = counts.get(operation, 0) + 1
+            if self.op_log is not None:
+                self.op_log.append((operation, key, value))
         return YcsbResult(workload.upper(), self.operations,
                           self.env.now - start, counts)
 

@@ -1,0 +1,167 @@
+"""Traffic-engine gates: determinism, bit-identity, fairness, tracing."""
+
+import pytest
+
+from repro.faults import CrashPointRecorder
+from repro.tenancy import TrafficEngine, make_mix, make_schedule
+from repro.tenancy.clients import TenantSpec
+
+
+def small_engine(seed=0, tenants=12, operations=4, quota=8, qos=True,
+                 schedule="bursty", duration=0.2, workers=8, **kwargs):
+    specs = make_mix(tenants, seed=seed, operations=operations,
+                     quota_entries=quota)
+    return TrafficEngine(specs, workers=workers, seed=seed,
+                         schedule=make_schedule(schedule, duration=duration),
+                         qos=qos, **kwargs)
+
+
+class TestDeterminism:
+    def test_repeat_run_byte_identical(self):
+        first = small_engine(seed=5).run()
+        second = small_engine(seed=5).run()
+        assert first.digest() == second.digest()
+        assert first.clock == second.clock
+
+    def test_different_seeds_differ(self):
+        assert small_engine(seed=1).run().digest() != \
+            small_engine(seed=2).run().digest()
+
+    def test_crash_point_stream_byte_identical(self):
+        def stream(seed):
+            engine = small_engine(seed=seed, tenants=6, operations=3)
+            stack = engine.build()
+            recorder = CrashPointRecorder(stack.env)
+            engine.run()
+            return [(p.site, p.label, p.time) for p in recorder.points]
+
+        first = stream(4)
+        second = stream(4)
+        assert first  # the run hits persistence boundaries
+        assert first == second
+
+    def test_thousand_client_mixed_run_deterministic(self):
+        """The acceptance-criteria scale: 1000 logical clients, all five
+        kinds, deterministic clock/stats byte for byte."""
+        def once():
+            specs = make_mix(1000, seed=42, operations=2, quota_entries=32)
+            engine = TrafficEngine(
+                specs, workers=64, seed=42,
+                schedule=make_schedule("bursty", duration=1.0))
+            report = engine.run()
+            return report.digest()
+
+        first = once()
+        second = once()
+        assert first == second
+
+
+class TestQosDisabled:
+    def test_qos_disabled_runs_and_is_deterministic(self):
+        first = small_engine(seed=3, qos=False).run()
+        second = small_engine(seed=3, qos=False).run()
+        assert first.digest() == second.digest()
+        assert first.engine["qos"] is False
+
+    def test_qos_disabled_reports_no_quota_data(self):
+        report = small_engine(seed=3, qos=False).run()
+        for record in report.tenants.values():
+            assert record["quota_peak"] == 0.0
+            assert record["quota_wait_s"] == 0.0
+
+
+class TestFairness:
+    def test_all_requests_complete_under_tight_quotas(self):
+        report = small_engine(seed=3, tenants=16, operations=10, quota=2,
+                              duration=0.05, workers=12).run()
+        assert report.engine["completed"] == report.engine["requests"]
+
+    def test_quota_constrained_bursty_run_meets_fairness_gates(self):
+        """The ISSUE acceptance gate: under a quota-constrained bursty
+        schedule, priority classes meet p99 targets and nobody starves."""
+        report = small_engine(seed=0, tenants=64, operations=8, quota=8,
+                              duration=0.5, workers=16).run()
+        assert report.engine["completed"] == report.engine["requests"]
+        assert report.jain >= 0.8
+        assert report.starvation <= 0.75
+        # Per-class p99 targets. Classes carry different workload mixes,
+        # so the targets are absolute budgets, not a cross-class ordering;
+        # the run is deterministic, so these have ~10x headroom over the
+        # measured values for this seed.
+        targets = {"interactive": 5e-4, "standard": 2e-2, "batch": 2e-2}
+        for name, budget in targets.items():
+            assert report.classes[name]["p99_latency"] < budget, name
+        # The quota gate actually engaged somewhere in the run.
+        assert any(record["quota_wait_s"] + record["admission_wait_s"] > 0
+                   for record in report.tenants.values())
+
+    def test_quota_waits_recorded_under_pressure(self):
+        engine = small_engine(seed=3, tenants=16, operations=10, quota=2,
+                              duration=0.05, workers=12)
+        engine.run()
+        assert engine.qos.quota_waits > 0
+        assert engine.qos.blocked() == 0          # fully drained
+        assert engine.qos.inflight_entries() == 0
+
+
+class TestMetricsAndTracing:
+    def test_metrics_surface_registered(self):
+        engine = small_engine(seed=1, tenants=6, operations=3, metrics=True)
+        report = engine.run()
+        names = set(engine.stack.metrics.names())
+        assert {"tenancy.engine.requests_total",
+                "tenancy.engine.requests_completed",
+                "tenancy.engine.queue_depth", "tenancy.engine.workers",
+                "tenancy.engine.queue_wait",
+                "tenancy.engine.request_latency",
+                "tenancy.fairness.jain_index", "tenancy.fairness.starvation",
+                "tenancy.fairness.slowdown_max",
+                "tenancy.class.interactive_latency",
+                "tenancy.class.standard_latency",
+                "tenancy.class.batch_latency",
+                "core.qos.quota_waits"} <= names
+        total = engine.stack.metrics.get("tenancy.engine.requests_total")
+        assert total.value() == report.engine["requests"]
+        jain = engine.stack.metrics.get("tenancy.fairness.jain_index")
+        assert jain.value() == pytest.approx(report.jain)
+
+    def test_root_spans_carry_tenant_tags(self):
+        engine = small_engine(seed=1, tenants=6, operations=3, tracing=True)
+        engine.run()
+        tagged = [span for span in engine.stack.tracer.roots()
+                  if "tenant" in span.args]
+        assert tagged
+        for span in tagged:
+            assert span.args["tenant"].startswith("t")
+            assert span.args["io_class"] in ("interactive", "standard",
+                                             "batch")
+
+    def test_tracing_does_not_perturb_results(self):
+        plain = small_engine(seed=6).run()
+        traced = small_engine(seed=6, tracing=True).run()
+        assert plain.digest() == traced.digest()
+
+    def test_metrics_do_not_perturb_results(self):
+        plain = small_engine(seed=6).run()
+        measured = small_engine(seed=6, metrics=True).run()
+        assert plain.digest() == measured.digest()
+
+
+class TestValidation:
+    def test_duplicate_tenant_ids_rejected(self):
+        spec = TenantSpec(tenant_id="dup", kind="fio")
+        with pytest.raises(ValueError, match="unique"):
+            TrafficEngine([spec, spec])
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            TrafficEngine([TenantSpec(tenant_id="a", kind="fio")], workers=0)
+
+    def test_unknown_kind_rejected(self):
+        engine = TrafficEngine([TenantSpec(tenant_id="a", kind="nope")])
+        with pytest.raises(ValueError, match="unknown client kind"):
+            engine.build()
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            make_schedule("lumpy")

@@ -1,0 +1,277 @@
+"""QoS manager semantics: admission, quotas, priorities, bit-identity."""
+
+import pytest
+
+from repro.core import DEFAULT_CLASSES, IOClass, QosManager
+from repro.harness.systems import Scale, build_stack
+from repro.sim import Environment
+from repro.workloads.fio import FioJob, run_fio
+
+
+def make_qos(log_entries=64, classes=DEFAULT_CLASSES):
+    env = Environment()
+    qos = QosManager(env, classes=classes, log_entries=log_entries)
+    env.qos = qos
+    return env, qos
+
+
+def drain(generator):
+    """Exhaust an admit() generator, returning the waitables it yielded."""
+    return list(generator)
+
+
+class TestRegistration:
+    def test_duplicate_tenant_rejected(self):
+        _env, qos = make_qos()
+        qos.register_tenant("a")
+        with pytest.raises(ValueError, match="already registered"):
+            qos.register_tenant("a")
+
+    def test_duplicate_class_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="duplicate"):
+            QosManager(env, classes=(IOClass("x"), IOClass("x")))
+
+    def test_bad_quota_rejected(self):
+        _env, qos = make_qos()
+        with pytest.raises(ValueError, match="quota_entries"):
+            qos.register_tenant("a", quota_entries=0)
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError, match="max_share"):
+            IOClass("x", max_share=1.5)
+
+
+class TestBinding:
+    def test_unbound_context_is_none(self):
+        _env, qos = make_qos()
+        assert qos.current_context() is None
+        assert qos.context_tags() is None
+
+    def test_bind_unbind(self):
+        _env, qos = make_qos()
+        qos.register_tenant("a")
+        qos.bind("a", "standard")
+        assert qos.context_tags() == ("a", "standard")
+        qos.unbind()
+        assert qos.context_tags() is None
+
+    def test_nested_binds_depth_counted(self):
+        _env, qos = make_qos()
+        qos.register_tenant("a")
+        qos.bind("a", "interactive")
+        qos.bind("a", "interactive")   # TenantLibc binding around each call
+        qos.unbind()
+        assert qos.context_tags() == ("a", "interactive")
+        qos.unbind()
+        assert qos.context_tags() is None
+
+    def test_unbind_without_bind_is_noop(self):
+        _env, qos = make_qos()
+        qos.unbind()
+        assert qos.context_tags() is None
+
+
+class TestAdmission:
+    def test_unbound_admit_yields_nothing(self):
+        _env, qos = make_qos()
+        assert drain(qos.admit(4)) == []
+        assert qos.inflight_entries() == 0
+
+    def test_unconstrained_admit_yields_nothing_and_charges(self):
+        _env, qos = make_qos()
+        tenant = qos.register_tenant("a", quota_entries=8)
+        qos.bind("a", "standard")
+        assert drain(qos.admit(4)) == []
+        assert tenant.charged == 4
+        assert qos.inflight_entries() == 4
+
+    def test_quota_blocks_and_retirement_releases(self):
+        env, qos = make_qos()
+        tenant = qos.register_tenant("a", quota_entries=4)
+        results = []
+
+        def writer(count, seqs):
+            qos.bind("a", "standard")
+            yield from qos.admit(count)
+            qos.note_alloc(seqs[0], count)
+            qos.unbind()
+            results.append((count, env.now))
+
+        env.spawn(writer(4, [0]), name="w1")
+        env.spawn(writer(2, [4]), name="w2")  # over quota: must wait
+        env.run(until=0.5)
+        assert len(results) == 1
+        assert qos.blocked() == 1
+        assert tenant.quota_wait_s == 0.0
+        qos.note_retired([0, 1, 2, 3])
+        env.run()
+        assert len(results) == 2
+        assert tenant.charged == 2
+        assert qos.quota_waits == 1
+        assert qos.admission_waits == 0
+
+    def test_class_cap_blocks_and_classifies_as_admission_wait(self):
+        env, qos = make_qos(log_entries=16)  # batch cap = 8 entries
+        qos.register_tenant("a")
+        qos.register_tenant("b")
+        done = []
+
+        def writer(tenant_id, count, first_seq):
+            qos.bind(tenant_id, "batch")
+            yield from qos.admit(count)
+            qos.note_alloc(first_seq, count)
+            qos.unbind()
+            done.append(tenant_id)
+
+        env.spawn(writer("a", 8, 0), name="w1")
+        env.spawn(writer("b", 4, 8), name="w2")  # cap exceeded
+        env.run(until=0.5)
+        assert done == ["a"]
+        assert qos.admission_waits == 1
+        assert qos.quota_waits == 0
+        qos.note_retired(range(8))
+        env.run()
+        assert done == ["a", "b"]
+
+    def test_oversized_request_admitted_alone(self):
+        """A request larger than the quota must not deadlock: it is
+        admitted once the tenant has nothing else in flight."""
+        _env, qos = make_qos()
+        tenant = qos.register_tenant("a", quota_entries=2)
+        qos.bind("a", "standard")
+        assert drain(qos.admit(10)) == []   # 10 > quota, but charged == 0
+        assert tenant.charged == 10
+
+    def test_priority_order_on_release(self):
+        """Blocked waiters release in (class priority, arrival) order:
+        interactive overtakes batch even when batch arrived first."""
+        env, qos = make_qos(log_entries=8)  # batch cap = 4 entries
+        qos.register_tenant("batchy")
+        qos.register_tenant("slow")
+        qos.register_tenant("inter", quota_entries=2)
+        order = []
+
+        def holder():
+            qos.bind("batchy", "batch")
+            yield from qos.admit(4)           # fills the batch cap
+            qos.note_alloc(0, 4)
+            qos.unbind()
+
+        def blocked(tenant_id, io_class, count, first_seq):
+            qos.bind(tenant_id, io_class)
+            yield from qos.admit(count)
+            qos.note_alloc(first_seq, count)
+            qos.unbind()
+            order.append(tenant_id)
+
+        env.spawn(holder(), name="h")
+        env.run(until=0.1)
+        # batch-class waiter arrives FIRST...
+        env.spawn(blocked("slow", "batch", 2, 4), name="b1")
+        env.run(until=0.2)
+        # ...then "inter" charges to its quota and blocks on it, so an
+        # interactive waiter arrives SECOND.
+        charged = []
+
+        def precharge():
+            qos.bind("inter", "interactive")
+            yield from qos.admit(2)
+            qos.note_alloc(6, 2)
+            qos.unbind()
+            charged.append(True)
+
+        env.spawn(precharge(), name="pc")
+        env.run(until=0.25)
+        assert charged == [True]
+        env.spawn(blocked("inter", "interactive", 2, 8), name="b2")
+        env.run(until=0.3)
+        assert order == []
+        # Retire everything: both waiters become admissible at once;
+        # interactive (priority 0) must release before batch (priority 2).
+        qos.note_retired(range(8))
+        env.run()
+        assert order == ["inter", "slow"]
+
+    def test_pressure_reflects_blocked_waiters(self):
+        env, qos = make_qos()
+        qos.register_tenant("a", quota_entries=2)
+        assert not qos.pressure()
+
+        def writer():
+            qos.bind("a", "standard")
+            yield from qos.admit(2)
+            qos.note_alloc(0, 2)
+            yield from qos.admit(2)
+            qos.note_alloc(2, 2)
+            qos.unbind()
+
+        env.spawn(writer(), name="w")
+        env.run(until=0.1)
+        assert qos.pressure()
+        qos.note_retired([0, 1])
+        env.run()
+        assert not qos.pressure()
+
+
+class TestTallies:
+    def test_tallies_require_bound_context(self):
+        _env, qos = make_qos()
+        tenant = qos.register_tenant("a")
+        qos.tally_write(100)
+        qos.tally_hit()
+        assert tenant.write_ops == 0
+        qos.bind("a", "standard")
+        qos.tally_write(100)
+        qos.tally_read(50)
+        qos.tally_hit()
+        qos.tally_miss()
+        qos.unbind()
+        assert tenant.write_ops == 1
+        assert tenant.bytes_written == 100
+        assert tenant.read_ops == 1
+        assert tenant.bytes_read == 50
+        assert tenant.hit_ratio() == 0.5
+
+    def test_hit_ratio_empty_is_zero(self):
+        _env, qos = make_qos()
+        tenant = qos.register_tenant("a")
+        assert tenant.hit_ratio() == 0.0
+
+
+class TestMetrics:
+    def test_register_metrics_names(self):
+        from repro.obs import MetricsRegistry
+        _env, qos = make_qos()
+        registry = MetricsRegistry()
+        qos.register_metrics(registry)
+        names = set(registry.names())
+        assert {"core.qos.admission_waits", "core.qos.quota_waits",
+                "core.qos.inflight_entries", "core.qos.blocked",
+                "core.qos.quota_occupancy",
+                "core.qos.wait_latency"} <= names
+
+
+class TestBitIdentity:
+    def test_attached_but_unbound_manager_is_bit_identical(self):
+        """A QosManager with no bound context must not change one event
+        of a run — the acceptance gate for 'tenancy disabled == today'."""
+
+        def once(with_qos):
+            stack = build_stack("nvcache+ssd", scale=Scale(4096))
+            if with_qos:
+                qos = QosManager(stack.env,
+                                 log_entries=stack.nvcache.config.log_entries)
+                stack.env.qos = qos
+                qos.register_tenant("ghost", quota_entries=1)
+            result = run_fio(stack.env, stack.libc,
+                             FioJob(rw="randwrite", size=1 << 20,
+                                    block_size=4096, numjobs=2, fsync=8,
+                                    seed=7),
+                             settle=stack.settle)
+            return (stack.env.now, stack.env.events_dispatched,
+                    result.bytes_written, result.elapsed,
+                    stack.nvcache.stats.writes,
+                    stack.nvcache.stats.cleanup_batches)
+
+        assert once(False) == once(True)

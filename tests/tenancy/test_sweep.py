@@ -1,0 +1,50 @@
+"""Sweep cells and shardable seed sweeps (repro.parallel contract)."""
+
+import json
+
+from repro.tenancy import run_cell, sweep_seeds
+
+
+PARAMS = {"tenants": 8, "operations": 3, "workers": 6,
+          "schedule": "bursty", "duration": 0.1, "quota_entries": 8}
+
+
+class TestRunCell:
+    def test_cell_is_deterministic(self):
+        first = run_cell(dict(PARAMS, seed=7))
+        second = run_cell(dict(PARAMS, seed=7))
+        assert first == second
+        assert first["digest"] == second["digest"]
+
+    def test_cell_fields(self):
+        cell = run_cell(dict(PARAMS, seed=7))
+        assert cell["seed"] == 7
+        assert cell["completed"] == cell["requests"] == 24
+        assert 0.0 < cell["jain"] <= 1.0
+        assert len(cell["digest"]) == 64   # sha256 hex
+
+    def test_qos_toggle_changes_digest_under_pressure(self):
+        tight = dict(PARAMS, seed=7, quota_entries=1, duration=0.01)
+        with_qos = run_cell(dict(tight, qos=True))
+        without = run_cell(dict(tight, qos=False))
+        assert with_qos["digest"] != without["digest"]
+
+
+class TestSweepSeeds:
+    def test_sharded_matches_sequential_byte_for_byte(self):
+        seeds = [0, 1, 2, 3]
+        sequential = sweep_seeds(seeds, jobs=1, params=PARAMS)
+        sharded = sweep_seeds(seeds, jobs=4, params=PARAMS)
+        assert json.dumps(sequential, sort_keys=True) == \
+            json.dumps(sharded, sort_keys=True)
+
+    def test_results_ordered_by_seed(self):
+        results = sweep_seeds([3, 1, 2], jobs=2, params=PARAMS)
+        assert [cell["seed"] for cell in results] == [1, 2, 3]
+
+    def test_bad_params_surface_as_error_records(self):
+        results = sweep_seeds([0], jobs=1,
+                              params=dict(PARAMS, schedule="lumpy"))
+        assert len(results) == 1
+        assert results[0]["seed"] == 0
+        assert "unknown schedule" in results[0]["error"]

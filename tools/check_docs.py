@@ -5,8 +5,9 @@ Builds the instrumented stacks that together register every metric the
 tree defines (``nvcache+ssd`` covers nvmm/block.ssd0/kernel/fs/core,
 ``dm-writecache+ssd`` adds the dm-writecache gauges, a bare
 :class:`~repro.block.HddDevice` adds ``block.hdd0.*``), unions their
-registry names, and fails if any exact name is missing from
-``docs/OBSERVABILITY.md``. The reverse direction is checked too: a
+registry names, and fails if any exact name is missing from the scanned
+docs (``docs/OBSERVABILITY.md`` and ``docs/MULTITENANCY.md``, which owns
+the multi-tenant vocabulary). The reverse direction is checked too: a
 documented name that no stack registers is stale and also fails.
 
 The tracing vocabulary is held to the same contract: every span name in
@@ -29,7 +30,11 @@ import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DOC_PATH = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+#: Scanned docs. OBSERVABILITY.md is the single-tenant vocabulary;
+#: MULTITENANCY.md owns the ``tenancy.*`` / ``core.qos.*`` surface and
+#: the QoS wait segments. Union of both = the documented set.
+DOC_PATHS = [os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md"),
+             os.path.join(REPO_ROOT, "docs", "MULTITENANCY.md")]
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
@@ -39,12 +44,14 @@ from repro.harness.systems import Scale, build_stack  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
 from repro.parallel import register_engine_metrics  # noqa: E402
 from repro.sim import Environment, SEGMENT_NAMES, SPAN_NAMES  # noqa: E402
+from repro.tenancy import TrafficEngine  # noqa: E402
+from repro.tenancy.clients import TenantSpec  # noqa: E402
 
 #: Matches backticked metric names: a known layer prefix followed by at
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs)"
+    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs|tenancy)"
     r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 #: Matches backticked span/segment names: exactly two segments with a
@@ -81,6 +88,14 @@ def registered_names() -> set:
     registry = MetricsRegistry()
     register_engine_metrics(registry)
     names.update(registry.names())
+    # The multi-tenant surface: tenancy.engine.* / tenancy.fairness.* /
+    # tenancy.class.* from the traffic engine plus core.qos.* from the
+    # QoS manager, all registered at build() time.
+    engine = TrafficEngine([TenantSpec(tenant_id="doc0", kind="fio",
+                                       operations=1)],
+                           workers=1, metrics=True)
+    engine.build()
+    names.update(engine.stack.metrics.names())
     return names
 
 
@@ -94,11 +109,13 @@ def main(argv=None) -> int:
                         help="emit a machine-readable summary on stdout "
                              "(for tools/ci_run.py aggregation)")
     args = parser.parse_args(argv)
-    if not os.path.exists(DOC_PATH):
-        print(f"FAIL: {DOC_PATH} does not exist", file=sys.stderr)
-        return 1
-    with open(DOC_PATH) as handle:
-        doc_text = handle.read()
+    doc_text = ""
+    for path in DOC_PATHS:
+        if not os.path.exists(path):
+            print(f"FAIL: {path} does not exist", file=sys.stderr)
+            return 1
+        with open(path) as handle:
+            doc_text += handle.read() + "\n"
     registered = registered_names() | set(SPAN_NAMES) | set(SEGMENT_NAMES)
     documented = documented_names(doc_text) \
         | set(TRACE_NAME_PATTERN.findall(doc_text))
@@ -115,8 +132,8 @@ def main(argv=None) -> int:
         }, indent=2, sort_keys=True))
         return 1 if undocumented or stale else 0
     if undocumented:
-        print("FAIL: registered metrics missing from docs/OBSERVABILITY.md:",
-              file=sys.stderr)
+        print("FAIL: registered metrics missing from the docs "
+              "(OBSERVABILITY.md / MULTITENANCY.md):", file=sys.stderr)
         for name in undocumented:
             print(f"  {name}", file=sys.stderr)
     if stale:

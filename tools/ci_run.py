@@ -19,6 +19,12 @@ Suites (``--suite``, repeatable):
   and aggregated from their JSON summaries. The warm/cold and
   sequential/sharded byte-identity gates live in ``smoke -m
   crash_smoke`` and ``tests/faults/test_snapshot.py``.
+- ``tenancy`` — the multi-tenant fairness gate (docs/MULTITENANCY.md):
+  a 64-tenant bursty quota-constrained smoke through
+  ``tools/tenant_report.py --check`` (every request served, Jain index
+  and starvation gauge within thresholds), then ``--verify-sharding``
+  proving a 4-seed sweep is byte-identical sharded over ``--jobs 4``
+  vs sequential.
 - ``bench``   — ``tools/bench_engine.py --check``: **required** — exit 1
   on a >20% events/sec regression against the committed
   ``BENCH_engine.json``. The threshold is wide enough to clear
@@ -148,13 +154,25 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
                        env_extra={**SRC_ENV,
                                   "REPRO_CRASH_JOBS": str(jobs)})],
         "sweeps": sweeps,
+        "tenancy": [
+            Step("tenancy-fairness",
+                 _py("tools/tenant_report.py", "--check", "--json",
+                     "--tenants", "64", "--quota", "8",
+                     "--schedule", "bursty"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+            Step("tenancy-sharding",
+                 _py("tools/tenant_report.py", "--verify-sharding",
+                     "--seeds", "4", "--jobs", "4"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+        ],
         "bench": [Step("engine-bench", _py("tools/bench_engine.py",
                                            "--check"),
                        env_extra=dict(SRC_ENV))],
     }
     if suite == "all":
         return (suites["lint"] + suites["tier1"] + suites["docs"]
-                + suites["crash"] + suites["sweeps"] + suites["bench"])
+                + suites["crash"] + suites["sweeps"] + suites["tenancy"]
+                + suites["bench"])
     if suite not in suites:
         raise KeyError(suite)
     return suites[suite]
@@ -268,7 +286,7 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--suite", action="append", required=True,
                         choices=["lint", "tier1", "docs", "crash", "sweeps",
-                                 "bench", "all"],
+                                 "tenancy", "bench", "all"],
                         help="suite to run (repeatable)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for fan-out suites "
