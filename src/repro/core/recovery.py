@@ -39,6 +39,9 @@ class RecoveryReport:
     entries_scanned: int = 0
     entries_applied: int = 0
     entries_skipped_uncommitted: int = 0
+    #: entries whose file incarnation a *later committed unlink* removed
+    #: — replaying them would resurrect dead data (see ``resolve``).
+    entries_skipped_dead: int = 0
     namespace_ops_replayed: int = 0
     creates_replayed: int = 0
     bytes_replayed: int = 0
@@ -58,10 +61,9 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
     open_fds: Dict[int, int] = {}         # logged fd -> live fd
     fds_by_path: Dict[str, list] = {}     # for unlink-induced closes
 
-    def fd_for(logged_fd: int, seq: int) -> Generator:
+    def fd_for(logged_fd: int, path: str) -> Generator:
         live = open_fds.get(logged_fd)
         if live is None:
-            path = resolve(paths[logged_fd], seq)
             live = yield from kernel.open(path, O_RDWR | O_CREAT)
             open_fds[logged_fd] = live
             fds_by_path.setdefault(path, []).append(logged_fd)
@@ -99,6 +101,7 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
     # between its commit and its kernel call).
     ns_seqs = []      # committed namespace entries, in log order
     renames = {}      # seq -> (old, new)
+    unlinks = {}      # seq -> path
     for seq in range(tail, tail + log.entries):
         commit_group, logged_fd = log.read_header(seq)[:2]
         if commit_group == 0 or not log.is_committed(seq):
@@ -108,6 +111,8 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             if logged_fd == OP_RENAME:
                 renames[seq] = tuple(
                     log.read_data(seq).decode("utf-8").split("\x00", 1))
+            elif logged_fd == OP_UNLINK:
+                unlinks[seq] = log.read_data(seq).decode("utf-8")
     applied_renames = [(seq, *renames[seq]) for seq in ns_seqs[:-1]
                        if seq in renames]
     if ns_seqs and ns_seqs[-1] in renames:
@@ -124,12 +129,31 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
 
     applied_rename_seqs = {seq for seq, _old, _new in applied_renames}
 
-    def resolve(path: str, seq: int) -> str:
+    def resolve(path: str, seq: int):
         """Current name of the file ``path`` referred to at entry
-        ``seq``: follow every already-applied rename logged after it."""
-        for rename_seq, old, new in applied_renames:
-            if rename_seq > seq and path == old:
-                path = new
+        ``seq``, or ``None`` if that file *incarnation* is dead: walk
+        the committed namespace ops logged after ``seq`` in order,
+        following applied renames — but a committed unlink of the
+        current name kills the incarnation (a later create under the
+        same name is a different file; a rename logged after the unlink
+        moves the *new* incarnation, never this entry's data). Found by
+        the fuzzer: pwrite → recreate → rename → unlink on one path
+        replayed the first incarnation's data into the renamed
+        successor (see docs/CRASH_TESTING.md, bug 7)."""
+        for ns_seq in ns_seqs:
+            if ns_seq <= seq:
+                continue
+            if ns_seq in renames:
+                old, new = renames[ns_seq]
+                if ns_seq not in applied_rename_seqs:
+                    # Not applied before the crash: the in-order replay
+                    # of this rename will move the file later; entries
+                    # before it correctly target the pre-rename name.
+                    break
+                if path == old:
+                    path = new
+            elif ns_seq in unlinks and unlinks[ns_seq] == path:
+                return None
         return path
 
     live_entries = []
@@ -146,6 +170,9 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
         if logged_fd == OP_CREATE:
             # Recreate the (empty) file; a no-op if it already exists.
             path = resolve(data.decode("utf-8"), seq)
+            if path is None:
+                report.entries_skipped_dead += 1
+                continue
             fd = yield from kernel.open(path, O_RDWR | O_CREAT)
             yield from kernel.close(fd)
             report.creates_replayed += 1
@@ -162,6 +189,9 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             continue
         if logged_fd == OP_TRUNCATE:
             path = resolve(data.decode("utf-8"), seq)
+            if path is None:
+                report.entries_skipped_dead += 1
+                continue
             fd = yield from kernel.open(path, O_RDWR | O_CREAT)
             yield from kernel.ftruncate(fd, offset)
             yield from kernel.close(fd)
@@ -189,11 +219,14 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
             # this entry's data already reached the disk.
             report.entries_skipped_uncommitted += 1
             continue
-        live = yield from fd_for(logged_fd, seq)
+        path = resolve(paths[logged_fd], seq)
+        if path is None:
+            report.entries_skipped_dead += 1
+            continue
+        live = yield from fd_for(logged_fd, path)
         yield from kernel.pwrite(live, data, offset)
         report.entries_applied += 1
         report.bytes_replayed += len(data)
-        path = resolve(paths[logged_fd], seq)
         report.applied_by_path[path] = report.applied_by_path.get(path, 0) + 1
 
     yield from kernel.sync()

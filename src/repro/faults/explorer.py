@@ -172,10 +172,15 @@ class CrashExplorer:
     # -- pass 2: one case ---------------------------------------------------
 
     def run_case(self, index: Optional[int], variant: int = 0,
-                 keep_lines: Optional[Sequence[int]] = None) -> CaseResult:
+                 keep_lines: Optional[Sequence[int]] = None,
+                 survivor_seed: Optional[int] = None) -> CaseResult:
         """Crash at point ``index`` (None = end of run), drop all dirty
         lines except ``keep_lines`` (or a seeded subset for
-        ``variant > 0``), recover twice, check invariants."""
+        ``variant > 0``), recover twice, check invariants.
+        ``survivor_seed`` overrides the explorer-wide survivor-sampling
+        seed for this one case — the fuzzer uses it to vary survivor
+        subsets per case without building a new explorer (and without
+        disturbing this explorer's cached enumeration)."""
         points = self.enumerate_points()
         # A warm-start factory resumes runs from a checkpoint taken after
         # its prefix phase; points inside the prefix need a cold run.
@@ -189,7 +194,8 @@ class CrashExplorer:
             if keep_lines is not None:
                 keep: Tuple[int, ...] = tuple(sorted(keep_lines))
             elif variant > 0:
-                rng = random.Random(f"{self.seed}:{index}:{variant}")
+                seed = self.seed if survivor_seed is None else survivor_seed
+                rng = random.Random(f"{seed}:{index}:{variant}")
                 keep = tuple(line for line in dirty if rng.random() < 0.5)
             else:
                 keep = ()
@@ -224,6 +230,9 @@ class CrashExplorer:
         variant_name = ("end-of-run" if index is None
                         else "drop-all" if not captured["keep"]
                         else f"keep-subset-{variant}")
+
+        if run.pre_reboot is not None:
+            run.pre_reboot(run)
 
         # Reboot 1: recover from the crash image.
         env2, kernel2, nvmm2, report = self._crash_and_recover(

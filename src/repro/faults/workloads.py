@@ -67,6 +67,12 @@ class CrashRun:
     #: attach — non-zero for a warm-started run restored from a
     #: checkpoint taken after phase A.
     crash_point_base: int = 0
+    #: Called by the explorer after the crash image is captured and
+    #: before the reboot. Factories that arm a
+    #: :class:`~repro.faults.injector.BlockFaultInjector` use this to
+    #: disarm it so injected faults stop at the power cut and never
+    #: corrupt the *recovery* I/O (fuzz fault plans target the live run).
+    pre_reboot: Callable[["CrashRun"], None] = None
     #: Cross-phase workload state (fds, seeded RNGs, db handles); part
     #: of the machine snapshot, so phase B finds it after a restore.
     scratch: Dict = field(default_factory=dict)

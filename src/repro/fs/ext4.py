@@ -91,13 +91,28 @@ class Ext4(Filesystem):
     def release_data(self, inode: Inode) -> None:
         blocks = inode.private.pop("blocks", {})
         self._free_blocks.extend(blocks.values())
+        inode.private.pop("stale_tails", None)
         inode.size = 0
 
     def truncate(self, inode: Inode, size: int) -> None:
         blocks = self._blocks(inode)
         keep = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        stale_tails = inode.private.setdefault("stale_tails", {})
         for index in [i for i in blocks if i >= keep]:
             self._free_blocks.append(blocks.pop(index))
+            stale_tails.pop(index, None)
+        if size < inode.size and size % PAGE_SIZE and (keep - 1) in blocks:
+            # A shrink that cuts mid-block leaves the old bytes on the
+            # media past the cut. Real ext4 zeroes that tail; here we
+            # remember the valid watermark so read_page keeps masking it
+            # even after a later extension grows the file past this block
+            # again — masking by inode.size alone stops working then
+            # (found by the fuzzer: pwrite → ftruncate → extending pwrite
+            # resurrected pre-truncate bytes after a crash; see
+            # docs/CRASH_TESTING.md, bug 8).
+            tail = size % PAGE_SIZE
+            prior = stale_tails.get(keep - 1)
+            stale_tails[keep - 1] = tail if prior is None else min(prior, tail)
         inode.size = size
         self._pending_journal += 1
 
@@ -116,8 +131,13 @@ class Ext4(Filesystem):
         # the old contents of the partial tail block on the media, and a
         # later extension must expose a hole of zeros, not those bytes
         # (found by the crash explorer — the page cache used to mask
-        # this until a crash dropped it).
+        # this until a crash dropped it). The stale-tail watermark covers
+        # the case where the file has since grown past this block, so
+        # inode.size no longer bounds the garbage (see truncate).
         valid = inode.size - index * PAGE_SIZE
+        stale = inode.private.get("stale_tails", {}).get(index)
+        if stale is not None:
+            valid = min(valid, stale)
         if valid < PAGE_SIZE:
             if valid <= 0:
                 return b"\x00" * PAGE_SIZE
@@ -133,6 +153,12 @@ class Ext4(Filesystem):
             block = self._allocate_block()
             blocks[index] = block
             self._pending_journal += 1  # extent metadata change
+        stale_tails = inode.private.get("stale_tails")
+        if stale_tails:
+            # The full page being written was assembled through read_page
+            # (which masks the garbage), so the rewrite revalidates the
+            # whole block.
+            stale_tails.pop(index, None)
         if self.env.tracer is not None:
             self.env.tracer.charge(self.env, "fs", "block_request",
                                    self.cpu.block_request)

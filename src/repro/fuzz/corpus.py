@@ -1,0 +1,133 @@
+"""On-disk corpus format: deduplicated cases, findings, campaign state.
+
+Layout (all JSON canonical — ``sort_keys=True, indent=2`` + trailing
+newline — so the whole tree is byte-stable for a given campaign)::
+
+    <corpus>/
+      cases/<digest>.json     one interesting case: the FuzzCase fields,
+                              how it arose, and the coverage it added
+      findings/<digest>.json  one minimized invariant violation, with
+                              everything triage needs to replay it
+      campaign.json           campaign summary: seed, budgets, corpus
+                              digests, coverage, growth curve, findings
+
+    report.html               (written next to campaign.json on demand)
+
+Filenames are the stable case digests from
+:meth:`~repro.fuzz.schedule.FuzzCase.digest`, which is what makes the
+corpus deduplicated by construction and lets ``compare`` diff two
+campaigns as set arithmetic on names. Nothing here records wall-clock
+time or absolute paths: ``tests/fuzz/test_determinism.py`` compares
+two corpora written by different worker counts file-for-file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from .schedule import FuzzCase
+
+CASES_DIR = "cases"
+FINDINGS_DIR = "findings"
+CAMPAIGN_FILE = "campaign.json"
+REPORT_FILE = "report.html"
+
+
+def _dump(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _write(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def corpus_digest(case_digests: List[str]) -> str:
+    """Whole-corpus identity: sha256 over the sorted case digests."""
+    joined = "\n".join(sorted(case_digests))
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
+class Corpus:
+    """Writer/reader for one campaign's corpus directory."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    def _ensure_dirs(self) -> None:
+        # Lazy so read-only commands (triage/compare) never create an
+        # empty tree at a mistyped path.
+        os.makedirs(os.path.join(self.root, CASES_DIR), exist_ok=True)
+        os.makedirs(os.path.join(self.root, FINDINGS_DIR), exist_ok=True)
+
+    # -- writing ------------------------------------------------------------
+
+    def write_case(self, case: FuzzCase, origin: str,
+                   new_edges: int) -> str:
+        self._ensure_dirs()
+        digest = case.digest()
+        payload = {"case": case.to_fields(), "digest": digest,
+                   "origin": origin, "new_edges": new_edges}
+        _write(os.path.join(self.root, CASES_DIR, f"{digest}.json"),
+               _dump(payload))
+        return digest
+
+    def write_finding(self, finding: Dict) -> str:
+        self._ensure_dirs()
+        digest = finding["digest"]
+        _write(os.path.join(self.root, FINDINGS_DIR, f"{digest}.json"),
+               _dump(finding))
+        return digest
+
+    def write_campaign(self, summary: Dict) -> None:
+        self._ensure_dirs()
+        _write(os.path.join(self.root, CAMPAIGN_FILE), _dump(summary))
+
+    def write_report(self, html: str) -> str:
+        self._ensure_dirs()
+        path = os.path.join(self.root, REPORT_FILE)
+        _write(path, html)
+        return path
+
+    # -- reading ------------------------------------------------------------
+
+    def load_campaign(self) -> Dict:
+        path = os.path.join(self.root, CAMPAIGN_FILE)
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _load_dir(self, subdir: str) -> List[Dict]:
+        directory = os.path.join(self.root, subdir)
+        if not os.path.isdir(directory):
+            return []
+        out = []
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as handle:
+                out.append(json.load(handle))
+        return out
+
+    def load_cases(self) -> List[Dict]:
+        return self._load_dir(CASES_DIR)
+
+    def load_findings(self) -> List[Dict]:
+        return self._load_dir(FINDINGS_DIR)
+
+    def load_case(self, digest: str) -> Optional[FuzzCase]:
+        path = os.path.join(self.root, CASES_DIR, f"{digest}.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return FuzzCase.from_fields(json.load(handle)["case"])
+
+    def load_finding(self, digest: str) -> Optional[Dict]:
+        path = os.path.join(self.root, FINDINGS_DIR, f"{digest}.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)

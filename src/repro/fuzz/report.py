@@ -1,0 +1,234 @@
+"""Triage reports: deterministic HTML + text, and campaign compare.
+
+The HTML report is a single self-contained page (inline CSS, inline SVG
+growth curve, no external assets, no timestamps) rendered purely from
+the ``campaign.json`` summary and the finding dicts — so two campaigns
+with equal corpora render byte-identical reports regardless of worker
+count or corpus directory name. Repro commands therefore reference the
+corpus root as the literal placeholder ``<corpus>``: substitute the
+directory the report sits in.
+
+``compare`` follows the MTCFuzz report/compare shape the ROADMAP names:
+coverage edges and findings as set arithmetic between two campaign
+summaries, rendered as a short text table (and a dict for ``--json``).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+#: Literal placeholder used in repro commands (see module docstring).
+CORPUS_PLACEHOLDER = "<corpus>"
+
+
+def repro_command(digest: str) -> str:
+    return (f"PYTHONPATH=src python tools/fuzz.py triage "
+            f"{CORPUS_PLACEHOLDER} --case {digest}")
+
+
+# -- text -------------------------------------------------------------------
+
+
+def render_text(summary: Dict, findings: Sequence[Dict]) -> str:
+    """The triage summary ``tools/fuzz.py`` prints — deterministic, so
+    sharded and sequential campaigns print identical bytes."""
+    coverage = summary["coverage"]
+    lines = [
+        f"seed:            {summary['seed']}",
+        f"feedback:        {'on' if summary['feedback'] else 'off'}",
+        f"cases run:       {summary['cases_run']}",
+        f"corpus:          {len(summary['corpus'])} cases "
+        f"(digest {summary['corpus_digest']})",
+        f"coverage:        {coverage['edges']} edges "
+        f"({coverage['lines']} lines, {len(coverage['sites'])} sites)",
+        f"harness errors:  {summary['harness_errors']}",
+        f"findings:        {len(findings)}",
+    ]
+    for finding in findings:
+        lines.append(
+            f"  [{finding['invariant']}] at {finding['site']} "
+            f"({finding['variant']}, {finding['ops']} ops) "
+            f"case {finding['digest']}")
+        lines.append(f"      {finding['message']}")
+        lines.append(f"      repro: {repro_command(finding['digest'])}")
+    return "\n".join(lines)
+
+
+# -- growth curve -----------------------------------------------------------
+
+
+def _growth_svg(growth: Sequence[Sequence[int]], cases_run: int,
+                width: int = 560, height: int = 140) -> str:
+    """Inline SVG polyline of corpus coverage vs cases executed."""
+    if not growth:
+        return "<p class='empty'>no coverage recorded</p>"
+    max_cases = max(cases_run, growth[-1][0], 1)
+    max_edges = max(edges for _, edges in growth)
+    pad = 6
+
+    def x(cases: int) -> float:
+        return pad + (width - 2 * pad) * cases / max_cases
+
+    def y(edges: int) -> float:
+        return height - pad - (height - 2 * pad) * edges / max(max_edges, 1)
+
+    points = [f"{x(0):.1f},{y(0):.1f}"]
+    last_edges = 0
+    for cases, edges in growth:
+        # step curve: coverage is flat between growth events
+        points.append(f"{x(cases):.1f},{y(last_edges):.1f}")
+        points.append(f"{x(cases):.1f},{y(edges):.1f}")
+        last_edges = edges
+    points.append(f"{x(max_cases):.1f},{y(last_edges):.1f}")
+    return (
+        f"<svg viewBox='0 0 {width} {height}' class='growth' "
+        f"role='img' aria-label='corpus coverage growth'>"
+        f"<polyline fill='none' stroke='#2a6' stroke-width='2' "
+        f"points='{' '.join(points)}'/>"
+        f"<text x='{pad}' y='12' class='axis'>{max_edges} edges</text>"
+        f"<text x='{width - pad}' y='{height - 2}' class='axis' "
+        f"text-anchor='end'>{max_cases} cases</text>"
+        f"</svg>")
+
+
+# -- html -------------------------------------------------------------------
+
+_STYLE = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px;
+         border-bottom: 1px solid #ddd; font-size: 13px; }
+th { background: #f5f5f5; }
+code { background: #f3f3f3; padding: 1px 4px; border-radius: 3px; }
+.tiles { display: flex; gap: 1em; flex-wrap: wrap; }
+.tile { border: 1px solid #ddd; border-radius: 6px; padding: .6em 1em; }
+.tile .n { font-size: 1.5em; font-weight: 600; }
+.bad .n { color: #b00; } .good .n { color: #2a6; }
+svg.growth { border: 1px solid #ddd; border-radius: 6px; }
+.axis { font: 10px sans-serif; fill: #888; }
+.empty { color: #888; }
+"""
+
+
+def _tile(label: str, value, css: str = "") -> str:
+    return (f"<div class='tile {css}'><div class='n'>{value}</div>"
+            f"<div>{html.escape(label)}</div></div>")
+
+
+def render_html(summary: Dict, findings: Sequence[Dict],
+                cases: Sequence[Dict]) -> str:
+    """The full triage page: stat tiles, growth curve, finding table
+    with per-case repro commands, corpus table with coverage deltas."""
+    coverage = summary["coverage"]
+    n_findings = len(findings)
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        "<title>fuzz triage</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Fuzz campaign triage — seed {summary['seed']}, "
+        f"feedback {'on' if summary['feedback'] else 'off'}</h1>",
+        "<div class='tiles'>",
+        _tile("cases run", summary["cases_run"]),
+        _tile("corpus cases", len(summary["corpus"])),
+        _tile("coverage edges", coverage["edges"]),
+        _tile("crash sites", len(coverage["sites"])),
+        _tile("findings", n_findings, "bad" if n_findings else "good"),
+        _tile("harness errors", summary["harness_errors"]),
+        "</div>",
+        "<h2>Coverage growth</h2>",
+        _growth_svg(summary["growth"], summary["cases_run"]),
+    ]
+    parts.append("<h2>Findings</h2>")
+    if findings:
+        parts.append(
+            "<table><tr><th>case</th><th>invariant</th><th>crash site</th>"
+            "<th>variant</th><th>ops</th><th>coverage Δ</th>"
+            "<th>repro</th></tr>")
+        for finding in findings:
+            parts.append(
+                "<tr>"
+                f"<td><code>{html.escape(finding['digest'])}</code></td>"
+                f"<td>{html.escape(finding['invariant'])}</td>"
+                f"<td>{html.escape(finding['site'])}<br>"
+                f"<small>{html.escape(finding['label'])}</small></td>"
+                f"<td>{html.escape(finding['variant'])}</td>"
+                f"<td>{finding['ops']}</td>"
+                f"<td>+{finding['new_edges']}</td>"
+                f"<td><code>{html.escape(repro_command(finding['digest']))}"
+                "</code></td></tr>")
+        parts.append("</table>")
+        parts.append(
+            f"<p>Replace <code>{html.escape(CORPUS_PLACEHOLDER)}</code> "
+            "with the directory this report sits in.</p>")
+    else:
+        parts.append("<p class='empty'>no invariant violations — all "
+                     "explored crashes recovered to a legal state.</p>")
+    parts.append("<h2>Corpus</h2>")
+    if cases:
+        parts.append("<table><tr><th>case</th><th>origin</th>"
+                     "<th>ops</th><th>new edges</th></tr>")
+        for case in cases:
+            parts.append(
+                "<tr>"
+                f"<td><code>{html.escape(case['digest'])}</code></td>"
+                f"<td>{html.escape(case['origin'])}</td>"
+                f"<td>{len(case['case']['schedule'])}</td>"
+                f"<td>+{case['new_edges']}</td></tr>")
+        parts.append("</table>")
+    else:
+        parts.append("<p class='empty'>corpus is empty.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# -- compare ----------------------------------------------------------------
+
+
+def compare_campaigns(summary_a: Dict, summary_b: Dict) -> Dict:
+    """Set arithmetic between two campaign summaries."""
+    edges_a, edges_b = set(summary_a["edges"]), set(summary_b["edges"])
+    findings_a = set(summary_a["findings"])
+    findings_b = set(summary_b["findings"])
+    return {
+        "a": {"cases_run": summary_a["cases_run"],
+              "edges": len(edges_a), "findings": len(findings_a)},
+        "b": {"cases_run": summary_b["cases_run"],
+              "edges": len(edges_b), "findings": len(findings_b)},
+        "edges_only_a": sorted(edges_a - edges_b),
+        "edges_only_b": sorted(edges_b - edges_a),
+        "findings_only_a": sorted(findings_a - findings_b),
+        "findings_only_b": sorted(findings_b - findings_a),
+        "common_edges": len(edges_a & edges_b),
+    }
+
+
+def render_compare_text(diff: Dict) -> str:
+    lines = [
+        f"{'':18s}{'A':>10s}{'B':>10s}",
+        f"{'cases run':18s}{diff['a']['cases_run']:>10d}"
+        f"{diff['b']['cases_run']:>10d}",
+        f"{'coverage edges':18s}{diff['a']['edges']:>10d}"
+        f"{diff['b']['edges']:>10d}",
+        f"{'findings':18s}{diff['a']['findings']:>10d}"
+        f"{diff['b']['findings']:>10d}",
+        f"common edges:      {diff['common_edges']}",
+        f"edges only in A:   {len(diff['edges_only_a'])}",
+        f"edges only in B:   {len(diff['edges_only_b'])}",
+    ]
+    for name, key in (("findings only in A", "findings_only_a"),
+                      ("findings only in B", "findings_only_b")):
+        if diff[key]:
+            lines.append(f"{name}:")
+            lines.extend(f"  {digest}" for digest in diff[key])
+    return "\n".join(lines)
+
+
+def corpus_case_rows(corpus_cases: Sequence[Dict],
+                     order: Sequence[str]) -> List[Dict]:
+    """Order loaded corpus case dicts by the campaign's ingest order."""
+    by_digest = {case["digest"]: case for case in corpus_cases}
+    return [by_digest[digest] for digest in order if digest in by_digest]

@@ -28,13 +28,16 @@ passed in.
 from .engine import (PoolUnavailable, ShardEngine, Task, TaskResult,
                      register_engine_metrics)
 from .crash import SweepSpec, make_explorer, parallel_explore, seed_matrix
+from .fuzz import FuzzShardError, evaluate_batch
 
 __all__ = [
+    "FuzzShardError",
     "PoolUnavailable",
     "ShardEngine",
     "SweepSpec",
     "Task",
     "TaskResult",
+    "evaluate_batch",
     "make_explorer",
     "parallel_explore",
     "register_engine_metrics",

@@ -13,6 +13,25 @@ from .db_bench import (
 from .fio import FioJob, FioResult, FioSeries, run_fio
 from .ycsb import WORKLOAD_MIXES, YcsbResult, YcsbWorkload
 
+#: Op-mix weights the crash-and-fault fuzzer (``repro.fuzz``) seeds its
+#: schedule generator with — one family per evaluation driver, shaped
+#: like that driver's syscall stream (fio: sequential pwrite + periodic
+#: fsync; db_bench: WAL append + fsync per put; kvstore: appends plus
+#: MANIFEST-style rename/unlink churn; ycsb: update-heavy pwrites).
+#: Weights are relative; ops absent from a family (e.g. ``recreate``)
+#: are only reachable through mutation, which is what makes
+#: rarely-exercised recovery paths a coverage signal instead of a
+#: baseline guarantee. See docs/FUZZING.md.
+FUZZ_SEED_MIXES = {
+    "fio": {"pwrite": 6, "fsync": 2},
+    "fio-mixed": {"pwrite": 5, "fsync": 2, "ftruncate": 1,
+                  "rename": 1, "unlink": 1},
+    "db_bench": {"append": 5, "fsync": 5},
+    "kvstore": {"append": 4, "fsync": 3, "rename": 1, "unlink": 1,
+                "open": 1},
+    "ycsb": {"pwrite": 8, "fsync": 1, "open": 1},
+}
+
 __all__ = [
     "FioJob",
     "FioResult",
@@ -29,4 +48,5 @@ __all__ = [
     "YcsbWorkload",
     "YcsbResult",
     "WORKLOAD_MIXES",
+    "FUZZ_SEED_MIXES",
 ]

@@ -1,0 +1,106 @@
+"""tools/fuzz.py contract: subcommands, exit codes, JSON output.
+
+Exit codes match tools/crash_explore.py: 0 clean, 1 findings with
+``--check``, 2 usage or harness error. The tool is loaded via importlib
+and driven through ``main(argv)`` in-process (same idiom as
+tests/parallel/test_ci_run.py) so the whole matrix stays fast.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(scope="module")
+def fuzz_tool():
+    spec = importlib.util.spec_from_file_location(
+        "fuzz_tool", os.path.join(REPO_ROOT, "tools", "fuzz.py"))
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["fuzz_tool"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(fuzz_tool, tmp_path_factory):
+    """One small campaign, shared by the read-only subcommand tests."""
+    root = str(tmp_path_factory.mktemp("corpus"))
+    code = fuzz_tool.main(["run", "--seed", "3", "--cases", "16",
+                           "--corpus", root, "--html", "--check"])
+    assert code == 0  # the fixed stack is clean
+    return root
+
+
+def test_run_json_summary_has_the_triage_fields(fuzz_tool, capsys, tmp_path):
+    code = fuzz_tool.main(["run", "--seed", "0", "--cases", "12", "--json",
+                           "--corpus", str(tmp_path / "c")])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["seed"] == 0
+    assert summary["cases_run"] == 12
+    assert summary["harness_errors"] == 0
+    assert summary["corpus_digest"]
+    assert summary["coverage"]["edges"] > 0
+    assert summary["growth"], "growth curve must not be empty"
+
+
+def test_run_writes_the_documented_corpus_layout(corpus_dir):
+    assert os.path.isdir(os.path.join(corpus_dir, "cases"))
+    assert os.path.isfile(os.path.join(corpus_dir, "campaign.json"))
+    assert os.path.isfile(os.path.join(corpus_dir, "report.html"))
+    with open(os.path.join(corpus_dir, "campaign.json")) as handle:
+        summary = json.load(handle)
+    on_disk = sorted(name[:-len(".json")] for name in
+                     os.listdir(os.path.join(corpus_dir, "cases")))
+    assert on_disk == sorted(summary["corpus"])
+
+
+def test_triage_text_report(fuzz_tool, corpus_dir, capsys):
+    assert fuzz_tool.main(["triage", corpus_dir, "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "seed:" in out
+    assert "corpus:" in out
+
+
+def test_triage_replays_a_case_by_digest(fuzz_tool, corpus_dir, capsys):
+    with open(os.path.join(corpus_dir, "campaign.json")) as handle:
+        digest = json.load(handle)["corpus"][0]
+    code = fuzz_tool.main(["triage", corpus_dir, "--case", digest,
+                           "--json", "--check"])
+    assert code == 0
+    replay = json.loads(capsys.readouterr().out)
+    assert replay["digest"] == digest
+    assert replay["violations"] == []
+    assert replay["edges"] > 0
+
+
+def test_compare_is_reflexively_empty(fuzz_tool, corpus_dir, capsys):
+    assert fuzz_tool.main(
+        ["compare", corpus_dir, corpus_dir, "--json"]) == 0
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["edges_only_a"] == []
+    assert diff["findings_only_a"] == []
+    assert diff["common_edges"] > 0
+
+
+def test_usage_errors_exit_2(fuzz_tool, tmp_path, capsys):
+    # --html without --corpus
+    assert fuzz_tool.main(["run", "--cases", "4", "--html"]) == 2
+    # unknown seed family
+    assert fuzz_tool.main(["run", "--cases", "4",
+                           "--families", "postgres"]) == 2
+    # triage of a directory no campaign ever wrote
+    missing = str(tmp_path / "nope")
+    assert fuzz_tool.main(["triage", missing]) == 2
+    assert not os.path.exists(missing), \
+        "read-only triage must not create the mistyped directory"
+    # replay of an unknown digest
+    assert fuzz_tool.main(["triage", str(tmp_path), "--case",
+                           "000000000000"]) == 2
+    capsys.readouterr()

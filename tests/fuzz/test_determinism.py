@@ -1,0 +1,82 @@
+"""Sharding must be invisible: ``--jobs N`` is a throughput knob only.
+
+Two campaigns with the same seed — one in-process (``--jobs 1``), one
+sharded across 4 worker processes — must write byte-identical corpus
+trees: every ``cases/*.json`` and ``findings/*.json`` file,
+``campaign.json``, and ``report.html``. The engine guarantees this by
+drawing fixed-size candidate batches from the campaign RNG *before*
+execution and ingesting results in batch order, never arrival order;
+this test is the contract's pin.
+"""
+
+import filecmp
+import importlib.util
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+SEED = "3"
+CASES = "24"
+
+
+@pytest.fixture(scope="module")
+def fuzz_tool():
+    spec = importlib.util.spec_from_file_location(
+        "fuzz_tool_determinism", os.path.join(REPO_ROOT, "tools", "fuzz.py"))
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["fuzz_tool_determinism"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def tree(root):
+    """{relative path: absolute path} for every file under root."""
+    out = {}
+    for base, _dirs, names in os.walk(root):
+        for name in names:
+            path = os.path.join(base, name)
+            out[os.path.relpath(path, root)] = path
+    return out
+
+
+@pytest.fixture(scope="module")
+def corpora(fuzz_tool, tmp_path_factory):
+    sequential = str(tmp_path_factory.mktemp("jobs1"))
+    sharded = str(tmp_path_factory.mktemp("jobs4"))
+    for root, jobs in ((sequential, "1"), (sharded, "4")):
+        code = fuzz_tool.main(["run", "--seed", SEED, "--cases", CASES,
+                               "--jobs", jobs, "--corpus", root, "--html"])
+        assert code == 0
+    return sequential, sharded
+
+
+def test_same_file_set(corpora):
+    sequential, sharded = corpora
+    assert sorted(tree(sequential)) == sorted(tree(sharded))
+    names = sorted(tree(sequential))
+    assert "campaign.json" in names
+    assert "report.html" in names
+    assert any(name.startswith("cases" + os.sep) for name in names)
+
+
+def test_every_file_is_byte_identical(corpora):
+    sequential, sharded = corpora
+    left = tree(sequential)
+    right = tree(sharded)
+    different = [name for name in sorted(left)
+                 if not filecmp.cmp(left[name], right[name], shallow=False)]
+    assert different == [], \
+        f"jobs 1 vs jobs 4 disagree on: {different}"
+
+
+def test_triage_reports_are_byte_identical(fuzz_tool, corpora, capsys):
+    sequential, sharded = corpora
+    assert fuzz_tool.main(["triage", sequential]) == 0
+    first = capsys.readouterr().out
+    assert fuzz_tool.main(["triage", sharded]) == 0
+    second = capsys.readouterr().out
+    assert first == second

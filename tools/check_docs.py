@@ -6,9 +6,10 @@ tree defines (``nvcache+ssd`` covers nvmm/block.ssd0/kernel/fs/core,
 ``dm-writecache+ssd`` adds the dm-writecache gauges, a bare
 :class:`~repro.block.HddDevice` adds ``block.hdd0.*``), unions their
 registry names, and fails if any exact name is missing from the scanned
-docs (``docs/OBSERVABILITY.md`` and ``docs/MULTITENANCY.md``, which owns
-the multi-tenant vocabulary). The reverse direction is checked too: a
-documented name that no stack registers is stale and also fails.
+docs (``docs/OBSERVABILITY.md``, ``docs/MULTITENANCY.md`` which owns
+the multi-tenant vocabulary, and ``docs/FUZZING.md`` which owns
+``fuzz.*``). The reverse direction is checked too: a documented name
+that no stack registers is stale and also fails.
 
 The tracing vocabulary is held to the same contract: every span name in
 ``repro.sim.SPAN_NAMES`` and every critical-path segment in
@@ -32,14 +33,17 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Scanned docs. OBSERVABILITY.md is the single-tenant vocabulary;
 #: MULTITENANCY.md owns the ``tenancy.*`` / ``core.qos.*`` surface and
-#: the QoS wait segments. Union of both = the documented set.
+#: the QoS wait segments; FUZZING.md owns ``fuzz.*``. Union of all
+#: three = the documented set.
 DOC_PATHS = [os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md"),
-             os.path.join(REPO_ROOT, "docs", "MULTITENANCY.md")]
+             os.path.join(REPO_ROOT, "docs", "MULTITENANCY.md"),
+             os.path.join(REPO_ROOT, "docs", "FUZZING.md")]
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.block import HddDevice, SsdDevice  # noqa: E402
 from repro.faults import BlockFaultInjector  # noqa: E402
+from repro.fuzz import FuzzEngine  # noqa: E402
 from repro.harness.systems import Scale, build_stack  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
 from repro.parallel import register_engine_metrics  # noqa: E402
@@ -51,7 +55,7 @@ from repro.tenancy.clients import TenantSpec  # noqa: E402
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs|tenancy)"
+    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs|tenancy|fuzz)"
     r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 #: Matches backticked span/segment names: exactly two segments with a
@@ -96,6 +100,11 @@ def registered_names() -> set:
                            workers=1, metrics=True)
     engine.build()
     names.update(engine.stack.metrics.names())
+    # Fuzz campaign counters live under fuzz.* and exist once a
+    # FuzzEngine is built with a registry (repro.fuzz).
+    registry = MetricsRegistry()
+    FuzzEngine(registry=registry)
+    names.update(registry.names())
     return names
 
 
@@ -133,7 +142,8 @@ def main(argv=None) -> int:
         return 1 if undocumented or stale else 0
     if undocumented:
         print("FAIL: registered metrics missing from the docs "
-              "(OBSERVABILITY.md / MULTITENANCY.md):", file=sys.stderr)
+              "(OBSERVABILITY.md / MULTITENANCY.md / FUZZING.md):",
+              file=sys.stderr)
         for name in undocumented:
             print(f"  {name}", file=sys.stderr)
     if stale:

@@ -25,6 +25,11 @@ Suites (``--suite``, repeatable):
   and starvation gauge within thresholds), then ``--verify-sharding``
   proving a 4-seed sweep is byte-identical sharded over ``--jobs 4``
   vs sequential.
+- ``fuzz``    — the coverage-guided fuzzing gate (docs/FUZZING.md): a
+  fixed-seed budgeted campaign through ``tools/fuzz.py run --check``,
+  the collector-purity gate (the coverage hook must not perturb
+  simulated clocks or stats), and the jobs-1-vs-jobs-4 byte-identity
+  pin from ``tests/fuzz/test_determinism.py``.
 - ``bench``   — ``tools/bench_engine.py --check``: **required** — exit 1
   on a >20% events/sec regression against the committed
   ``BENCH_engine.json``. The threshold is wide enough to clear
@@ -165,6 +170,18 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
                      "--seeds", "4", "--jobs", "4"),
                  env_extra=dict(SRC_ENV), timeout=600),
         ],
+        "fuzz": [
+            Step("fuzz-campaign",
+                 _py("tools/fuzz.py", "run", "--seed", "0",
+                     "--cases", "64", "--check"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+            Step("fuzz-collector-gate",
+                 _py("-m", "pytest", "tests/fuzz/test_coverage.py", "-q"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+            Step("fuzz-determinism",
+                 _py("-m", "pytest", "tests/fuzz/test_determinism.py", "-q"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+        ],
         "bench": [Step("engine-bench", _py("tools/bench_engine.py",
                                            "--check"),
                        env_extra=dict(SRC_ENV))],
@@ -172,7 +189,7 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
     if suite == "all":
         return (suites["lint"] + suites["tier1"] + suites["docs"]
                 + suites["crash"] + suites["sweeps"] + suites["tenancy"]
-                + suites["bench"])
+                + suites["fuzz"] + suites["bench"])
     if suite not in suites:
         raise KeyError(suite)
     return suites[suite]
@@ -286,7 +303,7 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--suite", action="append", required=True,
                         choices=["lint", "tier1", "docs", "crash", "sweeps",
-                                 "tenancy", "bench", "all"],
+                                 "tenancy", "fuzz", "bench", "all"],
                         help="suite to run (repeatable)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for fan-out suites "
