@@ -12,6 +12,16 @@ from .log import (
     NvmmLog,
 )
 from .nvcache import Nvcache
+from .nvlog import NvlogLite
+from .paging import PagingCache, PagingStats, PagingStore, WritebackThread, recover_paging
+from .policies import (
+    POLICY_NAMES,
+    AlruPolicy,
+    CachePolicy,
+    LruPolicy,
+    NhitPolicy,
+    make_policy,
+)
 from .qos import DEFAULT_CLASSES, IOClass, QosManager, TenantQos
 from .radix import RadixTree
 from .read_cache import PageContent, PageDescriptor, ReadCache
@@ -20,6 +30,18 @@ from .stats import NvcacheStats
 
 __all__ = [
     "Nvcache",
+    "NvlogLite",
+    "PagingCache",
+    "PagingStats",
+    "PagingStore",
+    "WritebackThread",
+    "recover_paging",
+    "CachePolicy",
+    "LruPolicy",
+    "AlruPolicy",
+    "NhitPolicy",
+    "make_policy",
+    "POLICY_NAMES",
     "NvcacheConfig",
     "DEFAULT_CONFIG",
     "NvcacheStats",

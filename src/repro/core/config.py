@@ -30,6 +30,21 @@ class NvcacheConfig:
     write_op_overhead: float = 3.2 * US
     read_hit_overhead: float = 0.7 * US
     read_miss_overhead: float = 1.5 * US
+    # Cache design point (docs/POLICIES.md): "logging" is the paper's
+    # NVMM log + DRAM read cache; "paging" is the page-grained NVMM
+    # cache (page table + dirty-page writeback); "nvlog-lite" is the
+    # NVLog-style WAL-only variant (no DRAM read cache).
+    cache_mode: str = "logging"
+    # Eviction/promotion policy: "" = mode default (CLOCK for the
+    # logging read cache, LRU for paging), else clock|lru|alru|nhit.
+    policy: str = ""
+    paging_slots: int = 4_096            # NVMM page slots in paging mode
+    paging_wb_high: float = 0.45         # dirty fraction that wakes writeback
+    paging_wb_low: float = 0.40          # writeback drains down to this
+    paging_batch_pages: int = 64         # pages written back per sync batch
+    paging_idle_flush: float = 50 * MS   # flush a short dirty set after idle
+    nhit_threshold: int = 2              # misses before nhit promotes a page
+    alru_staleness: int = 64             # accesses before alru calls a page stale
 
     def __post_init__(self):
         if self.page_size & (self.page_size - 1):
@@ -38,6 +53,22 @@ class NvcacheConfig:
             raise ValueError("log geometry must be positive")
         if self.batch_max < 1 or self.batch_min < 1:
             raise ValueError("batch sizes must be >= 1")
+        if self.cache_mode not in ("logging", "paging", "nvlog-lite"):
+            raise ValueError(
+                "cache_mode must be logging, paging, or nvlog-lite")
+        if self.policy not in ("", "clock", "lru", "alru", "nhit"):
+            raise ValueError(
+                "policy must be one of '', clock, lru, alru, nhit")
+        if self.cache_mode != "logging" and self.policy == "clock":
+            raise ValueError("clock policy is only the logging read cache's")
+        if self.paging_slots < 2:
+            raise ValueError("paging needs at least two page slots")
+        if not 0.0 < self.paging_wb_low <= self.paging_wb_high < 1.0:
+            raise ValueError("need 0 < paging_wb_low <= paging_wb_high < 1")
+        if self.paging_batch_pages < 1:
+            raise ValueError("paging_batch_pages must be >= 1")
+        if self.nhit_threshold < 1 or self.alru_staleness < 1:
+            raise ValueError("policy knobs must be >= 1")
 
     @property
     def log_data_bytes(self) -> int:

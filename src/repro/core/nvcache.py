@@ -36,6 +36,7 @@ from .cleanup import CleanupThread
 from .config import DEFAULT_CONFIG, NvcacheConfig
 from .files import FileTables, NvOpenFile
 from .log import NvmmLog
+from .policies import make_policy
 from .radix import RadixTree
 from .read_cache import PageDescriptor, ReadCache
 from .stats import NvcacheStats
@@ -60,8 +61,11 @@ class Nvcache:
         self.stats = NvcacheStats()
         self.log = NvmmLog(env, nvmm, config, self.stats)
         self.tables = FileTables()
-        self.read_cache = ReadCache(env, config.read_cache_pages,
-                                    config.page_size, self.stats)
+        self.read_cache = ReadCache(
+            env, config.read_cache_pages, config.page_size, self.stats,
+            policy=make_policy(config.policy,
+                               nhit_threshold=config.nhit_threshold,
+                               alru_staleness=config.alru_staleness))
         self.cleanup = CleanupThread(env, self.log, kernel, self.tables,
                                      config, self.stats)
         self.cleanup.finalize_fd = self._finalize_fd
@@ -98,6 +102,10 @@ class Nvcache:
                   fn=lambda: stats.fsyncs_ignored)
         m.counter("evictions", unit="pages", help="read-cache CLOCK evictions",
                   fn=lambda: stats.evictions)
+        m.counter("promotions_skipped", unit="pages",
+                  help="misses the eviction/promotion policy declined to "
+                       "cache (nhit gate — see docs/POLICIES.md)",
+                  fn=lambda: stats.promotions_skipped)
         m.counter("group_writes", unit="ops",
                   help="writes needing more than one log entry",
                   fn=lambda: stats.group_writes)
@@ -341,7 +349,9 @@ class Nvcache:
             for descriptor in descriptors:
                 if descriptor.content is not None:
                     self._apply_to_content(descriptor, offset, data)
-                descriptor.accessed = True
+                    self.read_cache.note_access(descriptor)
+                else:
+                    descriptor.accessed = True
             if offset + len(data) > nv_file.size:
                 nv_file.size = offset + len(data)
         finally:
@@ -424,13 +434,14 @@ class Nvcache:
                 if tracer is not None:
                     tracer.charge(self.env, "core", "lock_wait",
                                   self.env.now - lock_began)
+                uncached = None
                 if descriptor.content is None:
                     token = None
                     if tracer is not None:
                         token = tracer.begin(self.env, "core", "read_miss",
                                              fd=fd, page=page)
                     try:
-                        yield from self._load_page(handle, descriptor)
+                        uncached = yield from self._load_page(handle, descriptor)
                         if tracer is not None:
                             tracer.charge(self.env, "core", "read_overhead",
                                           self.config.read_miss_overhead)
@@ -454,8 +465,13 @@ class Nvcache:
                     finally:
                         if token is not None:
                             tracer.end(self.env, token)
-                descriptor.accessed = True
-                out += descriptor.content.data[in_page:in_page + chunk]
+                if uncached is not None:
+                    # Policy declined promotion: serve straight from the
+                    # freshly-read buffer, leaving the cache untouched.
+                    out += uncached[in_page:in_page + chunk]
+                else:
+                    self.read_cache.note_access(descriptor)
+                    out += descriptor.content.data[in_page:in_page + chunk]
             finally:
                 descriptor.atomic_lock.release()
             position += chunk
@@ -470,12 +486,28 @@ class Nvcache:
         return bytes(out)
 
     def _load_page(self, handle: NvOpenFile, descriptor: PageDescriptor) -> Generator:
-        """Cache miss: load the page from the kernel and, if it is dirty,
-        run the dirty-miss procedure under the cleanup lock (paper §II-C)."""
+        """Cache miss: load the page and promote it into the read cache,
+        unless the active policy's admission gate (nhit) declines — then
+        the bytes are served once, uncached, and returned to the caller."""
         self.stats.read_misses += 1
         if self.env.qos is not None:
             self.env.qos.tally_miss()
+        policy = self.read_cache.policy
+        if policy is not None and not policy.admit(descriptor):
+            self.stats.promotions_skipped += 1
+            buffer = yield from self._page_bytes(handle, descriptor)
+            return buffer
         content = yield from self.read_cache.allocate_content()
+        buffer = yield from self._page_bytes(handle, descriptor)
+        content.data[:] = buffer
+        self.read_cache.attach(descriptor, content)
+        return None
+
+    def _page_bytes(self, handle: NvOpenFile,
+                    descriptor: PageDescriptor) -> Generator:
+        """Read one page through the kernel and, if it is dirty, merge the
+        pending log entries under the cleanup lock (paper §II-C dirty-miss
+        procedure)."""
         page_size = self.config.page_size
         base = descriptor.index * page_size
         yield descriptor.cleanup_lock.acquire()
@@ -497,8 +529,7 @@ class Nvcache:
                 self.stats.dirty_miss_entries_applied += 1
         finally:
             descriptor.cleanup_lock.release()
-        content.data[:] = buffer
-        self.read_cache.attach(descriptor, content)
+        return buffer
 
     @staticmethod
     def _readable(handle: NvOpenFile) -> bool:

@@ -54,7 +54,16 @@ def recover(env: Environment, kernel, nvmm: NvmmDevice,
 
     ``nvmm`` is the post-crash device (media image, empty CPU cache);
     ``kernel`` is the freshly booted kernel of the same machine.
+
+    Dispatches on ``config.cache_mode``: paging mode persists a page
+    table instead of a log and recovers via
+    :func:`repro.core.paging.recover_paging` (nvlog-lite shares the
+    logging layout and recovers here).
     """
+    if config.cache_mode == "paging":
+        from .paging import recover_paging
+        report = yield from recover_paging(env, kernel, nvmm, config)
+        return report
     log = NvmmLog(env, nvmm, config)
     report = RecoveryReport()
     paths = log.all_paths()

@@ -24,6 +24,7 @@ class NvcacheStats:
     log_full_waits: int = 0
     evictions: int = 0
     eviction_second_chances: int = 0
+    promotions_skipped: int = 0    # misses the policy declined to cache
     cleanup_batches: int = 0
     cleanup_entries: int = 0
     cleanup_fsyncs: int = 0

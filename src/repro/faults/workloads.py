@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List
 
 from ..block import SsdDevice
-from ..core import Nvcache, NvcacheConfig, NvmmLog
+from ..core import Nvcache, NvcacheConfig, NvmmLog, PagingCache, PagingStore
 from ..fs import Ext4
 from ..kernel import Kernel
 from ..kernel.fd_table import O_CREAT, O_RDWR, O_WRONLY
@@ -45,6 +45,15 @@ SMALL_CONFIG = NvcacheConfig(
     log_entries=128, entry_data_size=512, read_cache_pages=16,
     batch_min=4, batch_max=32, fd_max=32, path_max=64,
     cleanup_idle_flush=0.01, page_size=4096)
+
+#: Paging-mode sibling of SMALL_CONFIG: few slots (so writes hit the
+#: slot-full / eviction paths), small writeback batches, fast idle flush
+#: (so page_cleaned boundaries appear within short workloads).
+SMALL_PAGING_CONFIG = NvcacheConfig(
+    cache_mode="paging", log_entries=128, entry_data_size=512,
+    read_cache_pages=16, paging_slots=24, paging_batch_pages=6,
+    paging_idle_flush=0.01, batch_min=4, batch_max=32, fd_max=32,
+    path_max=64, cleanup_idle_flush=0.01, page_size=4096)
 
 
 @dataclass
@@ -110,6 +119,25 @@ def build_crash_run(config: NvcacheConfig = SMALL_CONFIG,
     kernel.mount("/", Ext4(env, ssd))
     nvmm = NvmmDevice(env, size=NvmmLog.required_size(config))
     nvcache = Nvcache(env, kernel, nvmm, config, start_cleanup=start_cleanup)
+    oracle = FileModelOracle(config.entry_data_size)
+    libc = TrackedNvcacheLibc(nvcache, oracle)
+    return CrashRun(env=env, kernel=kernel, ssd=ssd, nvmm=nvmm,
+                    nvcache=nvcache, libc=libc, oracle=oracle, config=config)
+
+
+def build_paging_crash_run(config: NvcacheConfig = SMALL_PAGING_CONFIG,
+                           ssd_size: int = 32 * MIB,
+                           start_cleanup: bool = True) -> CrashRun:
+    """Same shape as :func:`build_crash_run`, but the cache is a
+    :class:`~repro.core.PagingCache` — ``recover`` dispatches on
+    ``config.cache_mode``, so the explorer needs no changes."""
+    env = Environment()
+    ssd = SsdDevice(env, size=ssd_size)
+    kernel = Kernel(env)
+    kernel.mount("/", Ext4(env, ssd))
+    nvmm = NvmmDevice(env, size=PagingStore.required_size(config))
+    nvcache = PagingCache(env, kernel, nvmm, config,
+                          start_cleanup=start_cleanup)
     oracle = FileModelOracle(config.entry_data_size)
     libc = TrackedNvcacheLibc(nvcache, oracle)
     return CrashRun(env=env, kernel=kernel, ssd=ssd, nvmm=nvmm,
@@ -205,6 +233,42 @@ def fio_mixed_workload(ops: int = 14, seed: int = 11,
     return factory
 
 
+def fio_paging_workload(ops: int = 12, block_size: int = 1024,
+                        fsync_every: int = 4, seed: int = 13,
+                        start_cleanup: bool = True) -> Callable[[], CrashRun]:
+    """fio-style traffic through the *paging* cache: seeded writes over a
+    few pages (partial writes exercise fill-reads, repeats exercise
+    overwrite supersede), periodic fsync, a truncate (durable
+    invalidation), then close + drain — so every paging persistence
+    boundary (page_stored / commit_word / committed / page_cleaned /
+    invalidated) appears in the enumeration."""
+
+    def factory() -> CrashRun:
+        run = build_paging_crash_run(start_cleanup=start_cleanup)
+        libc = run.libc
+
+        def body() -> Generator:
+            rng = random.Random(seed)
+            fd = yield from libc.open("/bench.dat", O_CREAT | O_RDWR)
+            for i in range(ops):
+                page = rng.randrange(4)
+                in_page = rng.choice((0, 512, 2048))
+                data = bytes([rng.randrange(256)]) * block_size
+                yield from libc.pwrite(fd, data, page * 4096 + in_page)
+                if fsync_every and (i + 1) % fsync_every == 0:
+                    yield from libc.fsync(fd)
+            yield from libc.ftruncate(fd, 2048)
+            yield from libc.pwrite(fd, b"\xab" * block_size, 1024)
+            yield from libc.close(fd)
+            if start_cleanup:
+                yield run.nvcache.cleanup.request_drain()
+
+        run.body = body
+        return run
+
+    return factory
+
+
 # -- MiniRocks-based workloads --------------------------------------------
 
 
@@ -261,6 +325,7 @@ def kvstore_workload(puts: int = 6, seed: int = 5,
 WORKLOADS = {
     "fio": fio_write_workload,
     "fio-mixed": fio_mixed_workload,
+    "fio-paging": fio_paging_workload,
     "db_bench": db_bench_workload,
     "kvstore": kvstore_workload,
 }

@@ -30,7 +30,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Generator, List, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Sequence, Tuple
 
 from ..faults.injector import BlockFaultInjector
 from ..faults.workloads import CrashRun, build_crash_run
@@ -288,7 +288,8 @@ def mutate(rng: random.Random, case: FuzzCase,
 # -- interpretation ---------------------------------------------------------
 
 
-def build_fuzz_run(case: FuzzCase) -> CrashRun:
+def build_fuzz_run(case: FuzzCase,
+                   build: Callable[[], CrashRun] = build_crash_run) -> CrashRun:
     """Materialize a case as a :class:`~repro.faults.workloads.CrashRun`.
 
     The interpreter is *total*: every schedule is valid. File-slot
@@ -299,8 +300,16 @@ def build_fuzz_run(case: FuzzCase) -> CrashRun:
     ``schedule`` and ``fault_plan`` matter here — crash selection and
     survivor seeds are applied by the executor, which is what lets one
     enumerated run serve many cases.
+
+    ``build`` constructs the stack the schedule is interpreted against
+    (default: the logging-mode :func:`build_crash_run`). The schedule
+    language is stack-agnostic, so the same case replays against a
+    paging-mode stack via
+    :func:`~repro.faults.workloads.build_paging_crash_run` — that is how
+    ``tests/core/test_mode_equivalence.py`` pins the two designs to
+    byte-identical post-recovery contents.
     """
-    run = build_crash_run()
+    run = build()
     if case.fault_plan:
         injector = BlockFaultInjector(
             seed=1,

@@ -245,3 +245,159 @@ def saturation_point(result: FioResult, window: float = None) -> Optional[float]
         if (values[index] < plateau / 2 and values[index + 1] < plateau / 2):
             return series.time[index]
     return None
+
+
+# ---------------------------------------------------------------------------
+# Policy lab: the Logging-vs-Paging crossover (docs/POLICIES.md)
+# ---------------------------------------------------------------------------
+
+#: Per-mix geometry, chosen so a CI-sized run lands firmly on the design
+#: point each mix favours (see docs/POLICIES.md for the mechanics):
+#:
+#: - ``small-sync-write``: sub-page synchronous writes. Logging stores a
+#:   512-byte entry per op; paging pays a full-page store plus a
+#:   fill-read for every cold partial page — logging wins.
+#: - ``overwrite-heavy``: page-aligned overwrites of a small working set,
+#:   written far past the log's capacity. Logging must retire every
+#:   version through the SSD (log_full stalls); paging supersedes in
+#:   place and only the residual dirty set ever reaches the SSD — paging
+#:   wins.
+#: - ``read-heavy``: 80/20 mix over a working set resident in NVMM page
+#:   slots but much larger than the DRAM read cache. Paging serves hits
+#:   from NVMM without a syscall; logging round-trips the kernel on
+#:   every miss — paging wins.
+CROSSOVER_MIXES: Dict[str, Dict] = {
+    "small-sync-write": {
+        "expected_winner": "logging",
+        "job": dict(rw="randwrite", block_size=256, size=256 * KIB,
+                    file_size=64 * KIB, fsync=1),
+        "config": dict(entry_data_size=512, log_entries=2048,
+                       read_cache_pages=32, paging_slots=64),
+    },
+    "overwrite-heavy": {
+        "expected_winner": "paging",
+        "job": dict(rw="randwrite", block_size=4 * KIB, size=8 * MIB,
+                    file_size=128 * KIB, fsync=0),
+        # The log (128 entries = 512 KiB) is far smaller than the 8 MiB
+        # written, so logging becomes drain-bound (every version retires
+        # through the SSD); the paging working set (32 pages) fits its
+        # slots with room to spare and coalesces in place.
+        "config": dict(entry_data_size=4 * KIB, log_entries=128,
+                       read_cache_pages=32, paging_slots=128),
+    },
+    "read-heavy": {
+        "expected_winner": "paging",
+        "job": dict(rw="randrw", rwmixread=80, block_size=4 * KIB,
+                    size=4 * MIB, file_size=1 * MIB, fsync=0),
+        "config": dict(entry_data_size=4 * KIB, log_entries=1024,
+                       read_cache_pages=32, paging_slots=512),
+    },
+}
+
+_CROSSOVER_COMMON = dict(fd_max=128, path_max=64, batch_min=8,
+                         batch_max=128, cleanup_idle_flush=0.005,
+                         paging_batch_pages=64, paging_idle_flush=0.005)
+
+
+@dataclass
+class CrossoverMixResult:
+    """One mix driven through both cache modes."""
+
+    mix: str
+    expected_winner: str
+    elapsed: Dict[str, float] = field(default_factory=dict)    # mode -> s
+    bandwidth: Dict[str, float] = field(default_factory=dict)  # mode -> B/s
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def winner(self) -> str:
+        return min(self.elapsed, key=self.elapsed.get)
+
+    @property
+    def as_expected(self) -> bool:
+        return self.winner == self.expected_winner
+
+    @property
+    def speedup(self) -> float:
+        """Winner's advantage: loser elapsed / winner elapsed."""
+        times = sorted(self.elapsed.values())
+        return times[-1] / times[0] if times[0] else 0.0
+
+
+def _crossover_config(mix: str, mode: str, policy: str = "",
+                      **overrides) -> "NvcacheConfig":
+    from dataclasses import replace as _replace
+
+    from ..core import NvcacheConfig
+    spec = CROSSOVER_MIXES[mix]
+    config = NvcacheConfig(**spec["config"], **_CROSSOVER_COMMON)
+    return _replace(config, cache_mode=mode, policy=policy, **overrides)
+
+
+def run_crossover_mix(mix: str, mode: str, policy: str = "",
+                      seed: int = 42, **config_overrides) -> CrossoverMixResult:
+    """Drive one mix through one cache mode; fills a single-mode result
+    (callers merge). Fully deterministic for a given (mix, mode, policy,
+    seed)."""
+    from ..workloads import FioJob, run_fio
+    spec = CROSSOVER_MIXES[mix]
+    job = FioJob(seed=seed, **spec["job"])
+    stack = build_stack("nvcache+ssd",
+                        config=_crossover_config(mix, mode, policy,
+                                                 **config_overrides))
+    result = run_fio(stack.env, stack.libc, job, "/cross.dat",
+                     settle=stack.settle)
+    out = CrossoverMixResult(mix=mix, expected_winner=spec["expected_winner"])
+    out.elapsed[mode] = result.elapsed
+    out.bandwidth[mode] = ((result.bytes_written + result.bytes_read)
+                           / result.elapsed if result.elapsed else 0.0)
+    out.cache_stats[mode] = stack.nvcache.stats.as_dict()
+    stack.env.run_process(stack.teardown(), name="teardown")
+    return out
+
+
+def policy_crossover(mixes: Sequence[str] = tuple(CROSSOVER_MIXES),
+                     modes: Sequence[str] = ("logging", "paging"),
+                     seed: int = 42) -> Dict[str, CrossoverMixResult]:
+    """The Logging-vs-Paging crossover experiment: every mix through
+    every cache mode. ``tools/policy_report.py --check`` gates CI on the
+    expected winners."""
+    results: Dict[str, CrossoverMixResult] = {}
+    for mix in mixes:
+        merged = CrossoverMixResult(
+            mix=mix, expected_winner=CROSSOVER_MIXES[mix]["expected_winner"])
+        for mode in modes:
+            one = run_crossover_mix(mix, mode, seed=seed)
+            merged.elapsed.update(one.elapsed)
+            merged.bandwidth.update(one.bandwidth)
+            merged.cache_stats.update(one.cache_stats)
+        results[mix] = merged
+    return results
+
+
+def policy_hit_ratios(mix: str = "read-heavy",
+                      policies: Sequence[str] = ("lru", "alru", "nhit"),
+                      seed: int = 42,
+                      paging_slots: int = 128) -> Dict[str, Dict[str, float]]:
+    """Paging-mode eviction/promotion policies over one mix: hit ratio
+    and admission behaviour per policy. The slot count is squeezed below
+    the mix's working set (256 pages for ``read-heavy``) so the policies
+    actually have victims to choose — at the mix's native size every
+    policy would score 100% and the comparison is vacuous. Contents
+    never change with the policy (pinned by
+    tests/core/test_mode_equivalence.py) — only these ratios do."""
+    out: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        one = run_crossover_mix(mix, "paging", policy=policy, seed=seed,
+                                paging_slots=paging_slots)
+        stats = one.cache_stats["paging"]
+        out[policy] = {
+            "hit_rate": stats["hit_rate"],
+            "page_hits": stats["page_hits"],
+            "page_misses": stats["page_misses"],
+            "promotions": stats["promotions"],
+            "promotions_skipped": stats["promotions_skipped"],
+            "evictions": stats["evictions"],
+            "elapsed": one.elapsed["paging"],
+        }
+    return out

@@ -9,11 +9,11 @@ effect depends on size *ratios*, which scaling preserves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Generator, Optional
 
 from ..block import SsdDevice
-from ..core import Nvcache, NvcacheConfig, NvmmLog
+from ..core import Nvcache, NvcacheConfig, NvlogLite, NvmmLog, PagingCache, PagingStore
 from ..fs import DmWriteCache, Ext4, Ext4Dax, Nova, Tmpfs
 from ..kernel import Kernel
 from ..libc import Libc, NvcacheLibc
@@ -146,6 +146,10 @@ class StorageStack:
     env: Environment
     kernel: Kernel
     libc: Libc
+    #: The cache instance when the stack has one — an
+    #: :class:`~repro.core.Nvcache` (logging), :class:`~repro.core.NvlogLite`
+    #: (nvlog-lite), or :class:`~repro.core.PagingCache` (paging); all
+    #: three share the facade contract (``cleanup``, ``shutdown`` …).
     nvcache: Optional[Nvcache] = None
     devices: Dict[str, object] = field(default_factory=dict)
     #: Populated when built with ``metrics=True`` (see repro.obs); every
@@ -175,6 +179,8 @@ class StorageStack:
 
 def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                 config: Optional[NvcacheConfig] = None,
+                cache_mode: str = "logging",
+                policy: str = "",
                 ssd_size: int = 8 * GIB,
                 metrics: bool = False,
                 tracing: bool = False,
@@ -182,6 +188,13 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                 trace_seed: int = 0,
                 trace_capacity: int = 200_000) -> StorageStack:
     """Construct one of the seven evaluated stacks.
+
+    For the nvcache stacks, ``cache_mode`` selects the cache design
+    point (``"logging"`` — the paper's log + DRAM read cache,
+    ``"paging"`` — the NVMM page-table cache, ``"nvlog-lite"`` — the
+    log without a read cache) and ``policy`` the eviction/promotion
+    policy (docs/POLICIES.md). Both default to the values already in
+    ``config`` when one is supplied; a non-default argument wins.
 
     With ``metrics=True`` a :class:`~repro.obs.MetricsRegistry` is
     attached to the environment before any component is built, so every
@@ -254,9 +267,24 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
             kernel.mount("/", Nova(env, nvmm_fs))
             devices["nvmm_fs"] = nvmm_fs
         cache_config = config or nvcache_config(scale)
-        log_nvmm = NvmmDevice(env, size=NvmmLog.required_size(cache_config),
-                              name="pmem0")
-        nvcache = Nvcache(env, kernel, log_nvmm, cache_config)
+        overrides = {}
+        if cache_mode != "logging":
+            overrides["cache_mode"] = cache_mode
+        if policy:
+            overrides["policy"] = policy
+        if overrides:
+            cache_config = replace(cache_config, **overrides)
+        if cache_config.cache_mode == "paging":
+            log_nvmm = NvmmDevice(
+                env, size=PagingStore.required_size(cache_config),
+                name="pmem0")
+            nvcache = PagingCache(env, kernel, log_nvmm, cache_config)
+        else:
+            log_nvmm = NvmmDevice(
+                env, size=NvmmLog.required_size(cache_config), name="pmem0")
+            cache_cls = (NvlogLite if cache_config.cache_mode == "nvlog-lite"
+                         else Nvcache)
+            nvcache = cache_cls(env, kernel, log_nvmm, cache_config)
         devices["log_nvmm"] = log_nvmm
         return StorageStack(name, env, kernel, NvcacheLibc(nvcache),
                             nvcache=nvcache, devices=devices,

@@ -67,6 +67,8 @@ SPAN_NAMES = frozenset({
     # NVCache internals
     "core.log_append", "core.commit", "core.read_hit", "core.read_miss",
     "core.drain_batch",
+    # Paging-mode internals (docs/POLICIES.md)
+    "core.page_update", "core.writeback_batch",
     # kernel
     "kernel.read", "kernel.write", "kernel.fsync", "kernel.sync",
     "kernel.syncfs", "kernel.writeback",
@@ -83,6 +85,8 @@ SPAN_NAMES = frozenset({
 SEGMENT_NAMES = frozenset({
     "core.lock_wait", "core.log_full_wait", "core.write_overhead",
     "core.read_overhead", "core.retire",
+    # Paging mode: writer stalled waiting for a free page slot.
+    "core.page_full_wait",
     # Multi-tenant QoS admission gate (repro.core.qos): time blocked on
     # a tenant log-space quota vs. an I/O-class share cap.
     "core.quota_wait", "core.admission_wait",

@@ -1,0 +1,154 @@
+"""Property tests: cache modes are interchangeable, policies are inert.
+
+The logging-mode log and the paging-mode page table are two designs for
+the same contract (durability-after-ack behind the libc facade), so any
+schedule from the fuzz grammar must leave *byte-identical* file
+contents after a worst-case crash (every unpersisted NVMM line dropped)
+plus recovery, whichever design ran it — and the recovered bytes must
+match the :class:`~repro.faults.FileModelOracle` model exactly, since
+every op was acked before the power cut. The eviction/promotion
+policies (LRU / ALRU / NHIT, docs/POLICIES.md) only reorder evictions
+and gate promotions, so across policies the same schedule must again
+produce identical bytes; only hit ratios move.
+
+The mid-run crash points (where the oracle's two-legal-states split
+matters) are covered for paging by the explorer sweep below and by the
+``fio-paging`` workload in the CI ``policy`` suite.
+"""
+
+import random
+from dataclasses import replace
+
+from repro.core import NvcacheConfig, PagingStats
+from repro.faults import CrashExplorer
+from repro.faults.workloads import (SMALL_CONFIG, SMALL_PAGING_CONFIG,
+                                    build_crash_run, build_paging_crash_run)
+from repro.fuzz.schedule import build_fuzz_run, fresh_case
+
+SEEDS = range(6)
+
+
+def _content_case(seed: int):
+    """A fuzz-grammar schedule with crash selection and fault plans
+    stripped: block faults fire on backend-write *indices*, which the
+    two designs reach in different orders, so injected faults would
+    make contents legitimately diverge."""
+    case = fresh_case(random.Random(f"modeeq:{seed}"), max_ops=10)
+    return replace(case, fault_plan=(), crash_fracs=(0.5,),
+                   survivor_seed=0)
+
+
+def _recovered_state(case, build):
+    """Run the schedule to completion, power-cut dropping every
+    unpersisted line, recover, and read back every path the oracle ever
+    saw. Returns (contents-by-path, cache stats snapshot)."""
+    run = build_fuzz_run(case, build=build)
+    process = run.env.spawn(run.body(), name="modeeq-workload")
+    process.subscribe(lambda _value, _exc: run.env.stop())
+    run.env.run()
+    assert process.exception is None, process.exception
+    assert not process.alive, "schedule did not complete"
+    before, after = run.oracle.expected_states()
+    assert before == after, "oracle not at rest after an acked schedule"
+    paths = run.oracle.paths_of_interest()
+    stats = run.nvcache.stats.as_dict()
+    image = run.nvmm.crash_image(keep_lines=frozenset())
+    env2, kernel2, _nvmm2, _report = CrashExplorer._crash_and_recover(
+        run.env, run.kernel, run.devices, run.config, run.nvmm.name, image)
+    state = CrashExplorer._read_state(env2, kernel2, paths)
+    expected = {path: after.get(path) for path in paths}
+    return state, expected, stats
+
+
+def test_logging_and_paging_agree_byte_for_byte_after_recovery():
+    """Same schedule, both designs, worst-case crash after the final
+    ack: recovered bytes must match each other and the oracle model."""
+    for seed in SEEDS:
+        case = _content_case(seed)
+        log_state, log_expected, _ = _recovered_state(
+            case, build_crash_run)
+        page_state, page_expected, _ = _recovered_state(
+            case, build_paging_crash_run)
+        assert log_state == log_expected, f"seed {seed}: logging != oracle"
+        assert page_state == page_expected, f"seed {seed}: paging != oracle"
+        assert log_state == page_state, f"seed {seed}: modes diverge"
+
+
+def test_paging_mode_holds_invariants_over_fuzz_schedules():
+    """Mid-run crashes too: the explorer sweeps sampled persistence
+    boundaries of paging-mode runs of generated schedules and checks the
+    full invariant suite (durability-after-ack, atomicity, idempotent
+    re-recovery) against the oracle's two legal states."""
+    total = 0
+    failures = []
+    for seed in (0, 1, 2):
+        case = _content_case(seed)
+        explorer = CrashExplorer(
+            lambda case=case: build_fuzz_run(
+                case, build=build_paging_crash_run),
+            budget=6, drop_subsets=1, seed=seed)
+        result = explorer.explore()
+        total += len(result.cases)
+        failures.extend(result.violations)
+    assert total >= 30, f"only {total} crash cases generated"
+    assert not failures, "\n".join(str(v) for v in failures[:10])
+
+
+def test_policies_never_change_contents_only_hit_ratios():
+    """LRU / ALRU / NHIT over the same schedule: byte-identical files,
+    freely differing counters. A tiny slot count forces evictions so the
+    policies actually diverge in behaviour, not just in name."""
+    case = _content_case(3)
+    states = {}
+    stats = {}
+    for policy in ("lru", "alru", "nhit"):
+        config = replace(SMALL_PAGING_CONFIG, policy=policy,
+                         paging_slots=8)
+        state, expected, counters = _recovered_state(
+            case, lambda config=config: build_paging_crash_run(config))
+        assert state == expected, f"policy {policy}: paging != oracle"
+        states[policy] = state
+        stats[policy] = counters
+    assert states["lru"] == states["alru"] == states["nhit"]
+    # The admission gate is the one knob guaranteed to behave
+    # differently: nhit defers first-touch promotions, lru/alru never do.
+    assert stats["lru"]["promotions_skipped"] == 0
+    assert stats["alru"]["promotions_skipped"] == 0
+
+
+def test_read_cache_policies_inert_in_logging_mode():
+    """The same policy objects drive the logging design's DRAM read
+    cache; there too they may only move hit ratios, never bytes."""
+    case = _content_case(4)
+    states = {}
+    for policy in ("", "lru", "alru", "nhit"):
+        config = replace(SMALL_CONFIG, policy=policy, read_cache_pages=8)
+        state, expected, _ = _recovered_state(
+            case, lambda config=config: build_crash_run(config))
+        assert state == expected, f"policy {policy!r}: logging != oracle"
+        states[policy] = state
+    first = states[""]
+    assert all(state == first for state in states.values())
+
+
+def test_paging_stats_snapshot_shape():
+    """`PagingStats.as_dict` is the `core.paging.*` metric vocabulary —
+    pin the keys so docs/POLICIES.md and the dashboards can rely on it."""
+    keys = set(PagingStats().as_dict())
+    assert {"writes", "bytes_written", "reads", "bytes_read",
+            "page_hits", "page_misses", "hit_rate", "overwrite_hits",
+            "fill_reads", "promotions", "promotions_skipped",
+            "evictions", "txn_commits", "full_waits",
+            "writeback_pages", "writeback_batches", "writeback_syncs",
+            "invalidations", "fsyncs_ignored"} <= keys
+
+
+def test_paging_config_validation():
+    """The config layer rejects nonsense design-point selections."""
+    import pytest
+    with pytest.raises(ValueError):
+        NvcacheConfig(cache_mode="mystery")
+    with pytest.raises(ValueError):
+        NvcacheConfig(policy="mystery")
+    with pytest.raises(ValueError):
+        NvcacheConfig(cache_mode="paging", paging_slots=0)

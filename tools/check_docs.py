@@ -33,11 +33,13 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Scanned docs. OBSERVABILITY.md is the single-tenant vocabulary;
 #: MULTITENANCY.md owns the ``tenancy.*`` / ``core.qos.*`` surface and
-#: the QoS wait segments; FUZZING.md owns ``fuzz.*``. Union of all
-#: three = the documented set.
+#: the QoS wait segments; FUZZING.md owns ``fuzz.*``; POLICIES.md owns
+#: ``core.paging.*`` and the paging-mode trace names. Union of all
+#: four = the documented set.
 DOC_PATHS = [os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md"),
              os.path.join(REPO_ROOT, "docs", "MULTITENANCY.md"),
-             os.path.join(REPO_ROOT, "docs", "FUZZING.md")]
+             os.path.join(REPO_ROOT, "docs", "FUZZING.md"),
+             os.path.join(REPO_ROOT, "docs", "POLICIES.md")]
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
@@ -72,6 +74,11 @@ def registered_names() -> set:
     for system in ("nvcache+ssd", "dm-writecache+ssd"):
         stack = build_stack(system, Scale(4096), metrics=True)
         names.update(stack.metrics.names())
+    # The paging-mode design registers core.paging.* instead of the
+    # log/read-cache scopes (docs/POLICIES.md).
+    stack = build_stack("nvcache+ssd", Scale(4096), metrics=True,
+                        cache_mode="paging")
+    names.update(stack.metrics.names())
     # Tracer self-metrics (obs.trace.*) exist once a stack is built with
     # both observability and tracing on.
     stack = build_stack("nvcache+ssd", Scale(4096), metrics=True,
@@ -142,8 +149,8 @@ def main(argv=None) -> int:
         return 1 if undocumented or stale else 0
     if undocumented:
         print("FAIL: registered metrics missing from the docs "
-              "(OBSERVABILITY.md / MULTITENANCY.md / FUZZING.md):",
-              file=sys.stderr)
+              "(OBSERVABILITY.md / MULTITENANCY.md / FUZZING.md / "
+              "POLICIES.md):", file=sys.stderr)
         for name in undocumented:
             print(f"  {name}", file=sys.stderr)
     if stale:

@@ -29,7 +29,17 @@ Suites (``--suite``, repeatable):
   fixed-seed budgeted campaign through ``tools/fuzz.py run --check``,
   the collector-purity gate (the coverage hook must not perturb
   simulated clocks or stats), and the jobs-1-vs-jobs-4 byte-identity
-  pin from ``tests/fuzz/test_determinism.py``.
+  pin from ``tests/fuzz/test_determinism.py``. With
+  ``REPRO_FUZZ_CORPUS=<dir>`` the campaign writes its corpus there and
+  seeds itself from whatever a previous run (or the CI cache) left
+  behind (``--reuse-corpus``, docs/FUZZING.md).
+- ``policy``  — the policy-lab gate (docs/POLICIES.md): **required** —
+  ``tools/policy_report.py --check`` asserts the Logging-vs-Paging
+  crossover lands on the expected winner per mix, the paging-mode
+  crash sweep (``tools/crash_explore.py --workload fio-paging
+  --check``) proves the five durability invariants hold for the page
+  table, and the mode-equivalence property tests pin logging/paging
+  byte-identity after recovery.
 - ``bench``   — ``tools/bench_engine.py --check``: **required** — exit 1
   on a >20% events/sec regression against the committed
   ``BENCH_engine.json``. The threshold is wide enough to clear
@@ -43,6 +53,11 @@ Examples::
     python tools/ci_run.py --suite sweeps --jobs 4 --json
     python tools/ci_run.py --suite all --junit ci.xml
     python tools/ci_run.py --suite tier1 --dry-run
+
+``--json`` reports per-step wall-clock seconds, the run's total wall
+clock, and any cache-hit stats a step emitted as ``::cache::``-marked
+JSON lines (the fuzz corpus reuse path emits one), so CI caching is
+observable straight from job logs.
 
 Exit codes: **0** every required step passed (advisory failures are
 reported but do not fail the run), **1** a required step failed,
@@ -107,6 +122,20 @@ class StepResult:
             return "pass"
         return "warn" if self.step.advisory else "FAIL"
 
+    def cache_stats(self) -> List[Dict]:
+        """Cache-hit stats the step self-reported as ``::cache:: {json}``
+        lines (e.g. ``tools/fuzz.py run --reuse-corpus``)."""
+        stats = []
+        for line in (self.stdout + "\n" + self.stderr).splitlines():
+            line = line.strip()
+            if not line.startswith("::cache::"):
+                continue
+            try:
+                stats.append(json.loads(line[len("::cache::"):]))
+            except json.JSONDecodeError:
+                continue
+        return stats
+
 
 def _py(*argv: str) -> List[str]:
     return [sys.executable, *argv]
@@ -129,6 +158,16 @@ def lint_steps() -> List[Step]:
     return [Step("compileall (ruff unavailable)",
                  _py("-m", "compileall", "-q", "src", "tools", "benchmarks",
                      "smoke", "tests", "examples"))]
+
+
+def fuzz_corpus_args() -> List[str]:
+    """Corpus-reuse arguments for the fuzz campaign when the caller
+    (the CI workflow, via ``actions/cache``) designates a corpus
+    directory through ``REPRO_FUZZ_CORPUS``."""
+    corpus = os.environ.get("REPRO_FUZZ_CORPUS")
+    if not corpus:
+        return []
+    return ["--corpus", corpus, "--reuse-corpus"]
 
 
 def suite_steps(suite: str, jobs: int) -> List[Step]:
@@ -173,13 +212,26 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
         "fuzz": [
             Step("fuzz-campaign",
                  _py("tools/fuzz.py", "run", "--seed", "0",
-                     "--cases", "64", "--check"),
+                     "--cases", "64", "--check", *fuzz_corpus_args()),
                  env_extra=dict(SRC_ENV), timeout=600),
             Step("fuzz-collector-gate",
                  _py("-m", "pytest", "tests/fuzz/test_coverage.py", "-q"),
                  env_extra=dict(SRC_ENV), timeout=600),
             Step("fuzz-determinism",
                  _py("-m", "pytest", "tests/fuzz/test_determinism.py", "-q"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+        ],
+        "policy": [
+            Step("policy-crossover",
+                 _py("tools/policy_report.py", "--check"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+            Step("policy-paging-sweep",
+                 _py("tools/crash_explore.py", "--workload", "fio-paging",
+                     "--check", "--json"),
+                 env_extra=dict(SRC_ENV), timeout=600),
+            Step("policy-equivalence",
+                 _py("-m", "pytest", "tests/core/test_mode_equivalence.py",
+                     "-q"),
                  env_extra=dict(SRC_ENV), timeout=600),
         ],
         "bench": [Step("engine-bench", _py("tools/bench_engine.py",
@@ -189,7 +241,7 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
     if suite == "all":
         return (suites["lint"] + suites["tier1"] + suites["docs"]
                 + suites["crash"] + suites["sweeps"] + suites["tenancy"]
-                + suites["fuzz"] + suites["bench"])
+                + suites["fuzz"] + suites["policy"] + suites["bench"])
     if suite not in suites:
         raise KeyError(suite)
     return suites[suite]
@@ -246,6 +298,12 @@ def report_step(result: StepResult) -> None:
     print(f"[{result.status:>4}] {result.step.name:<28} "
           f"rc={result.returncode:<3} {result.seconds:7.2f}s  "
           f"{result.step.display()}")
+    for stat in result.cache_stats():
+        label = stat.get("cache", "cache")
+        hit = "hit" if stat.get("hit") else "miss"
+        rest = ", ".join(f"{key}={value}" for key, value in sorted(stat.items())
+                         if key not in ("cache", "hit"))
+        print(f"    cache {label}: {hit} ({rest})")
     if not result.ok:
         tail = (result.stdout + "\n" + result.stderr).strip()
         if tail:
@@ -258,9 +316,11 @@ def summary_payload(requested: List[str],
                     results: List[StepResult]) -> Dict:
     failures = [r for r in results if not r.ok and not r.step.advisory]
     warnings = [r for r in results if not r.ok and r.step.advisory]
+    caches = [stat for r in results for stat in r.cache_stats()]
     return {
         "suites": requested,
         "ok": not failures,
+        "wall_seconds": round(sum(r.seconds for r in results), 3),
         "steps": [{
             "name": r.step.name,
             "command": r.step.display(),
@@ -268,9 +328,12 @@ def summary_payload(requested: List[str],
             "seconds": r.seconds,
             "status": r.status,
             "advisory": r.step.advisory,
+            "cache": r.cache_stats(),
         } for r in results],
         "failures": [r.step.name for r in failures],
         "warnings": [r.step.name for r in warnings],
+        "cache_hits": sum(1 for stat in caches if stat.get("hit")),
+        "cache_misses": sum(1 for stat in caches if not stat.get("hit")),
     }
 
 
@@ -303,7 +366,7 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--suite", action="append", required=True,
                         choices=["lint", "tier1", "docs", "crash", "sweeps",
-                                 "tenancy", "fuzz", "bench", "all"],
+                                 "tenancy", "fuzz", "policy", "bench", "all"],
                         help="suite to run (repeatable)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for fan-out suites "

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--corpus", type=str, default=None,
                      help="directory to write the corpus into "
                           "(cases/, findings/, campaign.json)")
+    run.add_argument("--reuse-corpus", action="store_true",
+                     help="seed the campaign from the cases already in "
+                          "--corpus (cross-campaign corpus reuse: CI "
+                          "caches the directory keyed by the source "
+                          "tree's stack digest, docs/FUZZING.md); a "
+                          "missing or empty directory is a cache miss, "
+                          "not an error")
     run.add_argument("--html", action="store_true",
                      help="also write report.html into the corpus dir "
                           "(requires --corpus)")
@@ -134,9 +141,33 @@ def write_corpus(root: str, result, want_html: bool) -> None:
             render_html(summary, result.finding_list(), cases))
 
 
+def reuse_corpus_seeds(fuzzer: FuzzEngine, root: str) -> None:
+    """Extend the campaign's seed pool with the cases of a previous
+    corpus (deduplicated by digest, ingested in sorted-digest order so
+    the extended campaign stays deterministic). Emits a ``::cache::``
+    marker line that ``tools/ci_run.py --json`` surfaces as cache-hit
+    stats in job logs."""
+    prior = Corpus(root).load_cases()
+    seen = {case.digest() for case in fuzzer.seeds}
+    reused = 0
+    for record in prior:
+        case = FuzzCase.from_fields(record["case"])
+        if case.digest() in seen:
+            continue
+        seen.add(case.digest())
+        fuzzer.seeds.append(case)
+        reused += 1
+    print("::cache:: " + json.dumps(
+        {"cache": "fuzz-corpus", "hit": bool(prior),
+         "available_cases": len(prior), "reused_cases": reused},
+        sort_keys=True))
+
+
 def cmd_run(args) -> int:
     if args.html and args.corpus is None:
         raise ValueError("--html requires --corpus")
+    if args.reuse_corpus and args.corpus is None:
+        raise ValueError("--reuse-corpus requires --corpus")
     families = (tuple(sorted(set(args.families.split(","))))
                 if args.families else tuple(sorted(FUZZ_SEED_MIXES)))
     unknown = set(families) - set(FUZZ_SEED_MIXES)
@@ -153,6 +184,8 @@ def cmd_run(args) -> int:
         engine = ShardEngine(jobs=args.jobs if args.jobs > 0 else None,
                              registry=registry)
     fuzzer = FuzzEngine(config, engine=engine, registry=registry)
+    if args.reuse_corpus:
+        reuse_corpus_seeds(fuzzer, args.corpus)
     result = fuzzer.run()
     if args.corpus:
         write_corpus(args.corpus, result, args.html)
