@@ -4,7 +4,8 @@ Everything here shells out, because the point is that the *commands the
 documentation tells people to run* actually run: ``tools/check_docs.py``
 (docs drift), ``tools/metrics_report.py`` (the dashboard and its export
 modes), ``tools/tenant_report.py`` (the multi-tenant fairness CLI and
-its gates), and the ``examples/`` scripts.
+its gates), ``tools/capacity_report.py`` (the capacity explorer: check
+gate, exact diffs, heatmap), and the ``examples/`` scripts.
 """
 
 import json
@@ -149,6 +150,75 @@ def test_trace_report_json_summary():
     assert summary["spans"] > 0 and summary["dropped"] == 0
     assert "libc.pwrite" in summary["spans_by_name"]
     assert summary["attribution"]
+
+
+def test_trace_report_attribution_json_schema():
+    result = run_script("tools/trace_report.py", "--size-mib", "0.25",
+                        "--attribution", "--json")
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["schema"] == "repro.attribution/1"
+    assert payload["total_ps"] == sum(payload["segments_ps"].values())
+    assert all(isinstance(v, int) for v in payload["segments_ps"].values())
+
+
+def test_capacity_report_check_gate():
+    result = run_script("tools/capacity_report.py", "--check", "--jobs", "2",
+                        timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "check OK" in result.stdout
+    assert "knees" in result.stdout
+
+
+def test_capacity_report_diff_is_exact():
+    # The acceptance criterion: the per-segment deltas of a demo-grid
+    # diff sum EXACTLY to the end-to-end latency delta.
+    result = run_script("tools/capacity_report.py", "--json", "--diff",
+                        "tenants=4,log_kib=64", "tenants=4,log_kib=128",
+                        timeout=300)
+    assert result.returncode == 0, result.stderr
+    diff = json.loads(result.stdout)
+    assert diff["exact"] is True
+    assert sum(diff["deltas_ps"].values()) == diff["total_delta_ps"]
+    human = run_script("tools/capacity_report.py", "--diff",
+                       "tenants=4,log_kib=64", "tenants=4,log_kib=128",
+                       timeout=300)
+    assert human.returncode == 0, human.stderr
+    assert "latency moved from" in human.stdout
+    assert "sum(deltas) == end-to-end delta: exact" in human.stdout
+
+
+def test_capacity_report_check_fails_on_wrong_expectation(tmp_path):
+    spec = {"name": "bad",
+            "axes": [{"name": "tenants", "values": [4]}],
+            "base": {"seed": 0, "operations": 4, "workers": 8,
+                     "schedule": "bursty", "duration": 0.02,
+                     "stack": "nvcache+ssd", "scale_factor": 4096,
+                     "log_kib": 64},
+            "expectations": [{"kind": "dominant", "cell": "tenants=4",
+                              "segment": "core.retire"}]}
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(spec))
+    result = run_script("tools/capacity_report.py", "--grid-file",
+                        str(path), "--check", timeout=300)
+    assert result.returncode == 1
+    assert "check FAILED" in result.stderr
+
+
+def test_capacity_report_html_heatmap(tmp_path):
+    out = tmp_path / "capacity.html"
+    result = run_script("tools/capacity_report.py", "--html", str(out),
+                        "--jobs", "2", timeout=300)
+    assert result.returncode == 0, result.stderr
+    html = out.read_text()
+    assert "capacity map" in html and "tenants=" in html
+
+
+def test_ci_run_capacity_suite_dry_run():
+    result = run_script("tools/ci_run.py", "--suite", "capacity",
+                        "--dry-run")
+    assert result.returncode == 0, result.stderr
+    assert "tools/capacity_report.py --check --jobs 2" in result.stdout
 
 
 def test_metrics_report_dm_writecache():

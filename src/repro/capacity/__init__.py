@@ -1,0 +1,49 @@
+"""What-if capacity explorer with per-segment attribution diffs.
+
+Runs the same seeded multi-tenant traffic (repro.tenancy) across a
+declarative grid of configurations — log size, SSD drain rate, cleanup
+aggressiveness, cache mode, tenant scale — sharded byte-identically
+over repro.parallel, and captures per-cell critical-path attribution
+(repro.sim.trace), metric snapshots (repro.obs), and fairness digests.
+On top sit an exact attribution-diff engine ("latency moved from
+core.log_full_wait to block.queue_wait") and dominant-segment knee
+detection per scale axis. CLI: ``tools/capacity_report.py``; reference:
+``docs/CAPACITY.md``.
+"""
+
+from .cell import PS_PER_S, cell_digest, run_cell, scaled_ssd_timing, to_ps
+from .diff import (ATTRIBUTION_SCHEMA, attribution_payload, detect_knees,
+                   diff_cells, dominant_segment, format_diff, format_knees)
+from .grid import (GRIDS, SCALE_KNOBS, Axis, GridSpec, cell_id, demo_grid,
+                   explore_grid, make_grid)
+from .report import check_expectations, format_table, to_html
+from .sweep import SweepMetrics, register_sweep_metrics, run_grid
+
+__all__ = [
+    "ATTRIBUTION_SCHEMA",
+    "Axis",
+    "GRIDS",
+    "GridSpec",
+    "PS_PER_S",
+    "SCALE_KNOBS",
+    "SweepMetrics",
+    "attribution_payload",
+    "cell_digest",
+    "cell_id",
+    "check_expectations",
+    "demo_grid",
+    "detect_knees",
+    "diff_cells",
+    "dominant_segment",
+    "explore_grid",
+    "format_diff",
+    "format_knees",
+    "format_table",
+    "make_grid",
+    "register_sweep_metrics",
+    "run_cell",
+    "run_grid",
+    "scaled_ssd_timing",
+    "to_html",
+    "to_ps",
+]

@@ -1,0 +1,165 @@
+"""One grid cell = one seeded multi-tenant run, captured for diffing.
+
+:func:`run_cell` is the module-level worker ``repro.parallel`` resolves
+by dotted name inside shard workers. It builds the cell's stack
+(geometry from the swept knobs), drives the *same* seeded traffic the
+sibling cells run, and captures three views of the outcome:
+
+- **critical-path attribution** from :class:`repro.sim.Tracer` — per
+  segment and per root-span name, in integer **picoseconds**;
+- a **metric snapshot** (``MetricsRegistry.snapshot_detailed``) of the
+  200+ registered metrics;
+- the **fairness digest** of the tenancy report (docs/MULTITENANCY.md).
+
+Why picoseconds: the diff engine's headline guarantee is *exact*
+segment accounting — for any two cells the signed per-segment deltas
+sum to the end-to-end latency delta, to the last digit. Floating-point
+addition is not associative, so the capture quantizes every attributed
+second to an integer picosecond once; from then on all sums and
+differences are exact integer arithmetic. At the simulation's µs-scale
+latencies a picosecond is ~6 orders of magnitude below the smallest
+modelled cost, so the quantization is far below anything the knee
+detector or diff renderer could surface.
+
+A cell's ``digest`` is the sha256 of the canonical JSON of everything
+above; ``tests/capacity/`` pins that it is byte-identical sequential vs
+sharded and run vs re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..block import SSD_TIMING, BlockTiming
+from ..harness.systems import Scale, nvcache_config
+from ..tenancy import TrafficEngine, make_mix, make_schedule
+from ..units import KIB
+
+#: One simulated second, in picoseconds (the capture's fixed point).
+PS_PER_S = 10 ** 12
+
+
+def to_ps(seconds: float) -> int:
+    """Quantize simulated seconds to integer picoseconds (round half to
+    even, like the float itself)."""
+    return round(seconds * PS_PER_S)
+
+
+def scaled_ssd_timing(drain: float) -> BlockTiming:
+    """The calibrated S4600 write path scaled by ``drain``: 2.0 models
+    an SSD that drains the cleanup thread's batches twice as fast
+    (halved service/flush times, doubled bandwidth). Read timing is
+    untouched — the axis is the *drain* rate."""
+    if drain <= 0.0:
+        raise ValueError("drain multiplier must be > 0")
+    return replace(
+        SSD_TIMING,
+        write_base=SSD_TIMING.write_base / drain,
+        seq_write_base=SSD_TIMING.seq_write_base / drain,
+        write_bandwidth=SSD_TIMING.write_bandwidth * drain,
+        flush_latency=SSD_TIMING.flush_latency / drain,
+    )
+
+
+def canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cell_digest(record: Dict) -> str:
+    """sha256 over the record minus its own digest field."""
+    body = {key: value for key, value in record.items() if key != "digest"}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def _engine_for(params: Dict) -> TrafficEngine:
+    seed = int(params.get("seed", 0))
+    scale = Scale(int(params.get("scale_factor", 4096)))
+    config = nvcache_config(
+        scale,
+        log_bytes=(int(params["log_kib"]) * KIB
+                   if params.get("log_kib") is not None else None),
+        batch_min=int(params.get("batch_min", 1_000)),
+        batch_max=int(params.get("batch_max", 10_000)),
+    )
+    stack_kwargs: Dict = {}
+    if params.get("cache_mode"):
+        stack_kwargs["cache_mode"] = str(params["cache_mode"])
+    if params.get("policy"):
+        stack_kwargs["policy"] = str(params["policy"])
+    if params.get("drain") is not None and float(params["drain"]) != 1.0:
+        stack_kwargs["ssd_timing"] = scaled_ssd_timing(float(params["drain"]))
+    specs = make_mix(int(params.get("tenants", 8)), seed=seed,
+                     operations=int(params.get("operations", 6)),
+                     quota_entries=params.get("quota_entries"))
+    return TrafficEngine(
+        specs,
+        workers=int(params.get("workers", 8)),
+        seed=seed,
+        schedule=make_schedule(str(params.get("schedule", "bursty")),
+                               duration=float(params.get("duration", 0.02))),
+        stack_name=str(params.get("stack", "nvcache+ssd")),
+        scale=scale,
+        qos=bool(params.get("qos", True)),
+        metrics=True,
+        tracing=True,
+        config=config,
+        stack_kwargs=stack_kwargs,
+    )
+
+
+def run_cell(params: Dict) -> Dict:
+    """Run one cell and return its JSON-safe capture (see module doc).
+
+    ``params`` is a plain-data dict straight from
+    :meth:`repro.capacity.grid.GridSpec.cells`; unknown keys are
+    rejected there, not here."""
+    engine = _engine_for(params)
+    report = engine.run()
+    tracer = engine.stack.tracer
+    registry = engine.stack.metrics
+
+    # Quantize once, at the finest granularity (per root name, per
+    # segment); the flat totals are integer sums of those, so the two
+    # views reconcile exactly instead of differing by rounding.
+    by_root = {root: {segment: to_ps(amount)
+                      for segment, amount in sorted(segments.items())}
+               for root, segments in sorted(tracer.attribution_by_root()
+                                            .items())}
+    attribution: Dict[str, int] = {}
+    for segments in by_root.values():
+        for segment, amount in segments.items():
+            attribution[segment] = attribution.get(segment, 0) + amount
+    attribution = dict(sorted(attribution.items()))
+    latency: Optional[Dict] = None
+    hist = registry.get("tenancy.engine.request_latency")
+    if hist is not None and hist.count:
+        quantiles = hist.percentiles()
+        latency = {"count": hist.count,
+                   "mean_ps": to_ps(hist.sum / hist.count),
+                   "p50_ps": to_ps(quantiles["p50"]),
+                   "p99_ps": to_ps(quantiles["p99"])}
+
+    record = {
+        "cell_id": params.get("cell_id", ""),
+        "params": {key: value for key, value in sorted(params.items())
+                   if key != "cell_id"},
+        "clock_ps": to_ps(report.clock),
+        "requests": report.engine["requests"],
+        "completed": report.engine["completed"],
+        "jain": report.jain,
+        "starvation": report.starvation,
+        "latency": latency,
+        "attribution_ps": attribution,
+        "attribution_by_root_ps": by_root,
+        "end_to_end_ps": sum(attribution.values()),
+        "spans": len(tracer.spans),
+        "spans_dropped": tracer.dropped,
+        "metrics": registry.snapshot_detailed(),
+        "fairness_digest": hashlib.sha256(
+            report.digest().encode("utf-8")).hexdigest(),
+    }
+    record["digest"] = cell_digest(record)
+    return record

@@ -1,0 +1,185 @@
+"""Attribution diffs and knee detection over captured grid cells.
+
+The deliverable of a capacity map is not raw numbers but *where latency
+moved* (Logging-vs-Paging follow-up; Do et al.'s page-cache simulation
+paper): :func:`diff_cells` compares two cells' critical-path
+attributions segment by segment and reports signed deltas whose sum
+equals the end-to-end latency delta **exactly** — both sides are
+integer picoseconds (see repro.capacity.cell), so the identity
+
+    sum_over_segments(b - a)  ==  end_to_end(b) - end_to_end(a)
+
+holds as integer arithmetic, not as floating-point luck. ``--check``
+still asserts it on every diff (``exact: true`` in the payload), so a
+capture-schema regression cannot pass silently.
+
+:func:`detect_knees` walks a scale axis (tenants, log size, drain
+rate …) with every other axis pinned and reports each point where the
+*dominant* segment — the largest critical-path bucket — flips: "at 16
+clients the knee is ``core.log_full_wait``". Flip points, not slopes:
+a closed segment vocabulary makes the flip crisp and assertable, where
+a slope threshold would need per-machine tuning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from ..units import fmt_time
+from .cell import PS_PER_S
+from .grid import GridSpec, cell_id as make_cell_id
+
+#: Schema tag shared by every attribution payload (the capacity cells,
+#: ``tools/trace_report.py --attribution --json``, and the diff engine
+#: all speak this one schema).
+ATTRIBUTION_SCHEMA = "repro.attribution/1"
+
+
+def attribution_payload(attribution_ps: Dict[str, int],
+                        source: str = "", **extra) -> Dict:
+    """The shared attribution JSON schema: integer-picosecond segments
+    plus their exact total."""
+    segments = dict(sorted(attribution_ps.items()))
+    payload = {
+        "schema": ATTRIBUTION_SCHEMA,
+        "source": source,
+        "segments_ps": segments,
+        "total_ps": sum(segments.values()),
+    }
+    payload.update(extra)
+    return payload
+
+
+def dominant_segment(attribution_ps: Dict[str, int]) -> Optional[str]:
+    """The heaviest critical-path segment (ties break on name so the
+    answer is deterministic); None for an empty attribution."""
+    if not attribution_ps:
+        return None
+    return max(sorted(attribution_ps), key=lambda s: attribution_ps[s])
+
+
+def diff_cells(a: Dict, b: Dict) -> Dict:
+    """Per-segment signed attribution deltas between two captured cells
+    (``b`` minus ``a``), exact by integer arithmetic."""
+    seg_a = a["attribution_ps"]
+    seg_b = b["attribution_ps"]
+    deltas = {}
+    for segment in sorted(set(seg_a) | set(seg_b)):
+        delta = seg_b.get(segment, 0) - seg_a.get(segment, 0)
+        if delta:
+            deltas[segment] = delta
+    total_delta = b["end_to_end_ps"] - a["end_to_end_ps"]
+    return {
+        "schema": ATTRIBUTION_SCHEMA,
+        "a": a["cell_id"],
+        "b": b["cell_id"],
+        "deltas_ps": deltas,
+        "total_delta_ps": total_delta,
+        "exact": sum(deltas.values()) == total_delta,
+        "a_total_ps": a["end_to_end_ps"],
+        "b_total_ps": b["end_to_end_ps"],
+        "a_dominant": dominant_segment(seg_a),
+        "b_dominant": dominant_segment(seg_b),
+        "a_segments_ps": dict(seg_a),
+        "b_segments_ps": dict(seg_b),
+    }
+
+
+def _pct(delta: int, base: int) -> str:
+    if base == 0:
+        return "new" if delta > 0 else "gone"
+    return f"{100.0 * delta / base:+.1f}%"
+
+
+def format_diff(diff: Dict, top: int = 12) -> str:
+    """Human rendering: the movement headline, then the per-segment
+    table sorted by |delta|."""
+    deltas = diff["deltas_ps"]
+    lines = [f"attribution diff: {diff['a']}  ->  {diff['b']}"]
+    total = diff["total_delta_ps"]
+    lines.append(
+        f"  end-to-end: {fmt_time(diff['a_total_ps'] / PS_PER_S)} -> "
+        f"{fmt_time(diff['b_total_ps'] / PS_PER_S)} "
+        f"({'+' if total >= 0 else '-'}{fmt_time(abs(total) / PS_PER_S)}, "
+        f"{_pct(total, diff['a_total_ps'])})")
+    shrink = min(deltas, key=lambda s: deltas[s], default=None)
+    grow = max(deltas, key=lambda s: deltas[s], default=None)
+    if shrink is not None and grow is not None \
+            and deltas[shrink] < 0 < deltas[grow]:
+        lines.append(
+            f"  latency moved from {shrink} "
+            f"({_pct(deltas[shrink], diff['a_segments_ps'].get(shrink, 0))}) "
+            f"to {grow} "
+            f"({_pct(deltas[grow], diff['a_segments_ps'].get(grow, 0))})")
+    if diff["a_dominant"] != diff["b_dominant"]:
+        lines.append(f"  dominant segment: {diff['a_dominant']} -> "
+                     f"{diff['b_dominant']}")
+    lines.append("")
+    ranked = sorted(deltas, key=lambda s: (-abs(deltas[s]), s))[:top]
+    width = max((len(s) for s in ranked), default=5)
+    for segment in ranked:
+        delta = deltas[segment]
+        base = diff["a_segments_ps"].get(segment, 0)
+        sign = "+" if delta >= 0 else "-"
+        lines.append(f"  {segment.ljust(width)}  "
+                     f"{sign}{fmt_time(abs(delta) / PS_PER_S):>10s}  "
+                     f"{_pct(delta, base):>8s}")
+    dropped = len(deltas) - len(ranked)
+    if dropped > 0:
+        rest = sum(deltas[s] for s in deltas if s not in set(ranked))
+        lines.append(f"  ... {dropped} smaller segment(s) summing to "
+                     f"{'+' if rest >= 0 else '-'}"
+                     f"{fmt_time(abs(rest) / PS_PER_S)}")
+    check = "exact" if diff["exact"] else "INEXACT (capture bug)"
+    lines.append(f"  sum(deltas) == end-to-end delta: {check}")
+    return "\n".join(lines)
+
+
+def detect_knees(spec: GridSpec, cells: Sequence[Dict]) -> List[Dict]:
+    """Dominant-segment flip points along every scale axis of ``spec``.
+
+    For each scale axis, every combination of the remaining axes forms
+    one *lane*; walking the lane in axis order, a knee is recorded at
+    each cell whose dominant segment differs from its predecessor's.
+    Returns records sorted by (axis, lane, position)."""
+    by_id = {cell["cell_id"]: cell for cell in cells}
+    knees: List[Dict] = []
+    for axis in spec.scale_axes():
+        others = [a for a in spec.axes if a.name != axis.name]
+        for fixed_values in itertools.product(
+                *(a.values for a in others)):
+            fixed = dict(zip((a.name for a in others), fixed_values))
+            lane = []
+            for value in axis.values:
+                values_in_order = [fixed[a.name] if a.name in fixed else value
+                                   for a in spec.axes]
+                cell = by_id.get(make_cell_id(spec.axes, values_in_order))
+                if cell is not None and "error" not in cell:
+                    lane.append((value, cell))
+            for (_prev_value, prev), (value, cell) in zip(lane, lane[1:]):
+                prev_dom = dominant_segment(prev["attribution_ps"])
+                dom = dominant_segment(cell["attribution_ps"])
+                if dom != prev_dom:
+                    knees.append({
+                        "axis": axis.name,
+                        "fixed": dict(sorted(fixed.items())),
+                        "at": value,
+                        "from_segment": prev_dom,
+                        "to_segment": dom,
+                        "cell_id": cell["cell_id"],
+                    })
+    return knees
+
+
+def format_knees(knees: List[Dict]) -> str:
+    if not knees:
+        return "no knees: the dominant segment never flips on any scale axis"
+    lines = ["knees (dominant critical-path segment flips):"]
+    for knee in knees:
+        fixed = ", ".join(f"{key}={value}"
+                          for key, value in knee["fixed"].items())
+        lines.append(f"  at {knee['axis']}={knee['at']}"
+                     + (f" ({fixed})" if fixed else "")
+                     + f": {knee['from_segment']} -> {knee['to_segment']}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Rendering for capacity sweeps: summary table, checks, HTML heatmap.
+
+The HTML heatmap is a self-contained file (inline CSS, no external
+assets, same spirit as the fuzz triage report): one table per pair of
+leading axes, cells shaded by end-to-end critical-path latency and
+labelled with their dominant segment — the paper's Figs 4–6 rendered
+as single cells of a larger map.
+"""
+
+from __future__ import annotations
+
+import html
+import itertools
+from typing import Dict, List, Optional
+
+from ..units import fmt_time
+from .cell import PS_PER_S
+from .diff import diff_cells, dominant_segment
+from .grid import GridSpec, cell_id as make_cell_id
+
+
+def format_table(spec: GridSpec, cells: List[Dict]) -> str:
+    """One row per cell: latency totals, dominant segment, fairness."""
+    header = (f"{'cell':<30} {'end-to-end':>12} {'p99 req':>10} "
+              f"{'jain':>6}  dominant segment")
+    lines = [f"grid {spec.name}: {len(cells)} cells "
+             f"({' x '.join(str(n) for n in spec.shape)}; "
+             + ", ".join(axis.name for axis in spec.axes) + ")",
+             header, "-" * len(header)]
+    for cell in cells:
+        if "error" in cell:
+            lines.append(f"{cell['cell_id']:<30} ERROR {cell['error']}")
+            continue
+        p99 = (fmt_time(cell['latency']['p99_ps'] / PS_PER_S)
+               if cell.get("latency") else "-")
+        dominant = dominant_segment(cell["attribution_ps"]) or "-"
+        share = ""
+        if dominant != "-" and cell["end_to_end_ps"]:
+            pct = (100.0 * cell["attribution_ps"][dominant]
+                   / cell["end_to_end_ps"])
+            share = f" ({pct:.0f}%)"
+        lines.append(
+            f"{cell['cell_id']:<30} "
+            f"{fmt_time(cell['end_to_end_ps'] / PS_PER_S):>12} "
+            f"{p99:>10} {cell['jain']:>6.3f}  {dominant}{share}")
+    return "\n".join(lines)
+
+
+def check_expectations(spec: GridSpec, cells: List[Dict],
+                       knees: List[Dict]) -> List[str]:
+    """Evaluate the grid's declarative expectations plus the standing
+    invariants; returns failure strings (empty = pass).
+
+    Standing invariants, always checked:
+    - no cell errored, and every cell completed all its requests;
+    - every adjacent-cell diff is exact (signed deltas sum to the
+      end-to-end delta).
+    Declarative kinds (docs/CAPACITY.md): ``dominant``, ``knee``,
+    ``moved``.
+    """
+    failures: List[str] = []
+    by_id = {cell["cell_id"]: cell for cell in cells}
+    for cell in cells:
+        if "error" in cell:
+            failures.append(f"cell {cell['cell_id']} errored: "
+                            f"{cell['error'].splitlines()[-1]}")
+        elif cell["completed"] != cell["requests"]:
+            failures.append(
+                f"cell {cell['cell_id']} served only {cell['completed']} "
+                f"of {cell['requests']} requests")
+    clean = [cell for cell in cells if "error" not in cell]
+    for a, b in zip(clean, clean[1:]):
+        diff = diff_cells(a, b)
+        if not diff["exact"]:
+            failures.append(f"diff {a['cell_id']} -> {b['cell_id']} is "
+                            "INEXACT: segment deltas do not sum to the "
+                            "end-to-end delta")
+    for expect in spec.expectations:
+        kind = expect.get("kind")
+        if kind == "dominant":
+            cell = by_id.get(expect["cell"])
+            if cell is None or "error" in cell:
+                failures.append(f"dominant: cell {expect['cell']!r} missing")
+                continue
+            dominant = dominant_segment(cell["attribution_ps"])
+            if dominant != expect["segment"]:
+                failures.append(
+                    f"dominant: cell {expect['cell']} expected "
+                    f"{expect['segment']}, measured {dominant}")
+        elif kind == "knee":
+            hits = [knee for knee in knees
+                    if knee["axis"] == expect["axis"]
+                    and knee["at"] == expect["at"]
+                    and knee["to_segment"] == expect["to"]
+                    and (expect.get("fixed") is None
+                         or knee["fixed"] == expect["fixed"])]
+            if not hits:
+                failures.append(
+                    f"knee: expected a flip to {expect['to']} at "
+                    f"{expect['axis']}={expect['at']}"
+                    + (f" ({expect['fixed']})" if expect.get("fixed")
+                       else "")
+                    + "; measured knees: "
+                    + (", ".join(f"{k['axis']}={k['at']}->{k['to_segment']}"
+                                 for k in knees) or "none"))
+        elif kind == "moved":
+            a, b = by_id.get(expect["a"]), by_id.get(expect["b"])
+            if a is None or b is None or "error" in a or "error" in b:
+                failures.append(f"moved: cells {expect['a']!r}/"
+                                f"{expect['b']!r} missing")
+                continue
+            diff = diff_cells(a, b)
+            shrunk = diff["deltas_ps"].get(expect["from"], 0)
+            grew = diff["deltas_ps"].get(expect["to"], 0)
+            if not (shrunk < 0 < grew):
+                failures.append(
+                    f"moved: {expect['a']} -> {expect['b']} expected "
+                    f"latency to leave {expect['from']} "
+                    f"(measured {shrunk:+d} ps) and enter {expect['to']} "
+                    f"(measured {grew:+d} ps)")
+        else:
+            failures.append(f"unknown expectation kind {kind!r}")
+    return failures
+
+
+def _shade(value: float, lo: float, hi: float) -> str:
+    """White -> deep red, linear in [lo, hi]."""
+    if hi <= lo:
+        frac = 0.0
+    else:
+        frac = max(0.0, min(1.0, (value - lo) / (hi - lo)))
+    channel = int(round(255 - 175 * frac))
+    return f"background:rgb(255,{channel},{channel})"
+
+
+def to_html(spec: GridSpec, cells: List[Dict],
+            knees: Optional[List[Dict]] = None) -> str:
+    """Self-contained heatmap. With >=2 axes the first two span each
+    table (rows x columns) and any remaining axes fan out one table per
+    combination; a 1-axis grid renders a single row."""
+    clean = [cell for cell in cells if "error" not in cell]
+    totals = [cell["end_to_end_ps"] for cell in clean]
+    lo, hi = (min(totals), max(totals)) if totals else (0, 0)
+    by_id = {cell["cell_id"]: cell for cell in cells}
+
+    row_axis = spec.axes[0]
+    col_axis = spec.axes[1] if len(spec.axes) > 1 else None
+    rest = spec.axes[2:]
+
+    parts = [
+        "<!doctype html><meta charset='utf-8'>",
+        f"<title>capacity map: {html.escape(spec.name)}</title>",
+        "<style>body{font:14px/1.4 system-ui,sans-serif;margin:2em;}"
+        "table{border-collapse:collapse;margin:1em 0;}"
+        "td,th{border:1px solid #999;padding:.4em .6em;text-align:right;}"
+        "td.cell{min-width:11em;}small{color:#444;display:block;"
+        "text-align:left;}caption{font-weight:600;text-align:left;}"
+        "</style>",
+        f"<h1>capacity map: grid <code>{html.escape(spec.name)}</code></h1>",
+        f"<p>{len(cells)} cells; shading = end-to-end critical-path "
+        "latency (sum of all attributed segments, docs/CAPACITY.md); "
+        "each cell names its dominant segment.</p>",
+    ]
+    rest_combos = (list(itertools.product(*(a.values for a in rest)))
+                   if rest else [()])
+    for combo in rest_combos:
+        fixed = dict(zip((a.name for a in rest), combo))
+        caption = ", ".join(f"{k}={v}" for k, v in fixed.items())
+        parts.append("<table>")
+        if caption:
+            parts.append(f"<caption>{html.escape(caption)}</caption>")
+        if col_axis is not None:
+            parts.append(
+                "<tr><th></th>"
+                + "".join(f"<th>{col_axis.name}={value}</th>"
+                          for value in col_axis.values) + "</tr>")
+        for row_value in row_axis.values:
+            cols = col_axis.values if col_axis is not None else (None,)
+            row = [f"<tr><th>{row_axis.name}={row_value}</th>"]
+            for col_value in cols:
+                values = []
+                for axis in spec.axes:
+                    if axis is row_axis:
+                        values.append(row_value)
+                    elif axis is col_axis:
+                        values.append(col_value)
+                    else:
+                        values.append(fixed[axis.name])
+                cell = by_id.get(make_cell_id(spec.axes, values))
+                if cell is None or "error" in cell:
+                    row.append("<td class='cell'>error</td>")
+                    continue
+                dominant = dominant_segment(cell["attribution_ps"]) or "-"
+                row.append(
+                    f"<td class='cell' "
+                    f"style='{_shade(cell['end_to_end_ps'], lo, hi)}'>"
+                    f"{fmt_time(cell['end_to_end_ps'] / PS_PER_S)}"
+                    f"<small>{html.escape(dominant)}</small></td>")
+            row.append("</tr>")
+            parts.append("".join(row))
+        parts.append("</table>")
+    if knees:
+        parts.append("<h2>knees</h2><ul>")
+        for knee in knees:
+            fixed = ", ".join(f"{k}={v}" for k, v in knee["fixed"].items())
+            parts.append(
+                f"<li>at <b>{knee['axis']}={knee['at']}</b>"
+                + (f" ({html.escape(fixed)})" if fixed else "")
+                + f": <code>{html.escape(str(knee['from_segment']))}</code>"
+                  f" &rarr; <code>{html.escape(str(knee['to_segment']))}"
+                  "</code></li>")
+        parts.append("</ul>")
+    return "\n".join(parts) + "\n"

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Generator, Optional
 
-from ..block import SsdDevice
+from ..block import BlockTiming, SsdDevice
 from ..core import Nvcache, NvcacheConfig, NvlogLite, NvmmLog, PagingCache, PagingStore
 from ..fs import DmWriteCache, Ext4, Ext4Dax, Nova, Tmpfs
 from ..kernel import Kernel
@@ -182,6 +182,7 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                 cache_mode: str = "logging",
                 policy: str = "",
                 ssd_size: int = 8 * GIB,
+                ssd_timing: Optional[BlockTiming] = None,
                 metrics: bool = False,
                 tracing: bool = False,
                 trace_sample_rate: float = 1.0,
@@ -195,6 +196,11 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
     log without a read cache) and ``policy`` the eviction/promotion
     policy (docs/POLICIES.md). Both default to the values already in
     ``config`` when one is supplied; a non-default argument wins.
+
+    ``ssd_timing`` replaces the calibrated SATA service-time model of
+    the SSD-backed stacks — the capacity explorer's "SSD drain rate"
+    axis (docs/CAPACITY.md) sweeps it; ``None`` keeps the paper's
+    S4600 calibration.
 
     With ``metrics=True`` a :class:`~repro.obs.MetricsRegistry` is
     attached to the environment before any component is built, so every
@@ -223,7 +229,8 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
     devices: Dict[str, object] = {}
 
     if name == "ssd":
-        ssd = SsdDevice(env, size=ssd_size)
+        ssd = SsdDevice(env, size=ssd_size,
+                        **({"timing": ssd_timing} if ssd_timing else {}))
         kernel.mount("/", Ext4(env, ssd))
         devices["ssd"] = ssd
         return StorageStack(name, env, kernel, Libc(kernel), devices=devices,
@@ -249,7 +256,8 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
                             metrics=registry, tracer=tracer)
 
     if name == "dm-writecache+ssd":
-        ssd = SsdDevice(env, size=ssd_size)
+        ssd = SsdDevice(env, size=ssd_size,
+                        **({"timing": ssd_timing} if ssd_timing else {}))
         dm = DmWriteCache(env, ssd, cache_size=scale.dm_cache_bytes)
         kernel.mount("/", Ext4(env, dm))
         devices["ssd"] = ssd
@@ -259,7 +267,8 @@ def build_stack(name: str, scale: Scale = DEFAULT_SCALE,
 
     if name in ("nvcache+ssd", "nvcache+nova"):
         if name == "nvcache+ssd":
-            ssd = SsdDevice(env, size=ssd_size)
+            ssd = SsdDevice(env, size=ssd_size,
+                        **({"timing": ssd_timing} if ssd_timing else {}))
             kernel.mount("/", Ext4(env, ssd))
             devices["ssd"] = ssd
         else:

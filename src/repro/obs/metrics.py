@@ -279,7 +279,10 @@ class MetricsRegistry:
 
     def snapshot_detailed(self) -> Dict[str, object]:
         """Full snapshot: scalars for counters/gauges, a dict with count/
-        sum/mean/min/max/p50/p95/p99 for histograms."""
+        sum/mean/min/max/p50/p95/p99 for histograms. A pure function of
+        simulated state — two deterministic runs produce equal
+        snapshots, which is what lets the capacity explorer
+        (docs/CAPACITY.md) digest one per grid cell."""
         out: Dict[str, object] = {}
         for name, metric in sorted(self._metrics.items()):
             if isinstance(metric, Histogram):

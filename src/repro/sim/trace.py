@@ -339,6 +339,21 @@ class Tracer:
                 totals[segment] = totals.get(segment, 0.0) + amount
         return totals
 
+    def attribution_by_root(self) -> Dict[str, Dict[str, float]]:
+        """Critical-path segments split by root span name: ``root
+        qualified name -> {segment -> total seconds}``. The capacity
+        explorer (docs/CAPACITY.md) uses this to tell request-side waits
+        (``libc.pwrite`` roots) from background drain costs
+        (``core.drain_batch`` roots) apart when diffing two cells."""
+        by_root: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.parent_id is not None:
+                continue
+            totals = by_root.setdefault(span.qualified, {})
+            for segment, amount in span.segments.items():
+                totals[segment] = totals.get(segment, 0.0) + amount
+        return by_root
+
     # -- metrics (obs.trace.*) ---------------------------------------------
 
     def register_metrics(self, registry) -> None:

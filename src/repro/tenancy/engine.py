@@ -41,6 +41,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
+from ..core.config import NvcacheConfig
 from ..core.qos import DEFAULT_CLASSES, QosManager
 from ..harness.systems import Scale, StorageStack, build_stack, nvcache_config
 from ..libc.tenant import TenantLibc
@@ -154,7 +155,9 @@ class TrafficEngine:
                  stack_name: str = "nvcache+ssd",
                  scale: Optional[Scale] = None,
                  qos: bool = True, classes=DEFAULT_CLASSES,
-                 metrics: bool = False, tracing: bool = False):
+                 metrics: bool = False, tracing: bool = False,
+                 config: Optional[NvcacheConfig] = None,
+                 stack_kwargs: Optional[Dict] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         ids = [spec.tenant_id for spec in specs]
@@ -170,6 +173,13 @@ class TrafficEngine:
         self.classes = classes
         self.metrics_enabled = metrics
         self.tracing_enabled = tracing
+        #: Optional cache-geometry override (the capacity explorer sweeps
+        #: log size / cleanup aggressiveness through this; None keeps the
+        #: paper's scaled defaults).
+        self.config = config
+        #: Extra keyword arguments forwarded to build_stack verbatim
+        #: (cache_mode, policy, ssd_timing, ...).
+        self.stack_kwargs = dict(stack_kwargs or {})
         self.stack: Optional[StorageStack] = None
         self.qos: Optional[QosManager] = None
         self._runs: List[_TenantRun] = []
@@ -241,11 +251,12 @@ class TrafficEngine:
         — callers may attach a crash-point recorder or inspect the
         registry before traffic starts. ``run()`` builds implicitly when
         this was not called."""
-        config = nvcache_config(self.scale)
+        config = self.config or nvcache_config(self.scale)
         self.stack = build_stack(self.stack_name, scale=self.scale,
                                  config=config,
                                  metrics=self.metrics_enabled,
-                                 tracing=self.tracing_enabled)
+                                 tracing=self.tracing_enabled,
+                                 **self.stack_kwargs)
         env = self.stack.env
         if self.qos_enabled:
             self.qos = QosManager(env, classes=self.classes,

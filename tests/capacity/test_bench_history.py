@@ -1,0 +1,81 @@
+"""BENCH_engine.json's bounded history: append, trim, check baseline."""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_engine", os.path.join(REPO_ROOT, "tools", "bench_engine.py"))
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_engine"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def measured(events_per_sec=100_000.0):
+    return {"fio_seq_write": {"events": 1000,
+                              "events_per_sec": events_per_sec,
+                              "sim_mib_per_wall_sec": 10.0,
+                              "wall_seconds": 0.5}}
+
+
+class TestAppendHistory:
+    def test_entry_carries_commit_timestamp_and_numbers(self, bench):
+        results = {"workloads": {}}
+        bench.append_history(results, measured())
+        (entry,) = results["history"]
+        assert entry["commit"] and entry["timestamp"]
+        assert entry["workloads"]["fio_seq_write"]["events_per_sec"] \
+            == 100_000.0
+
+    def test_history_is_bounded_newest_kept(self, bench):
+        results = {"workloads": {}}
+        for rate in range(bench.HISTORY_LIMIT + 5):
+            bench.append_history(results, measured(float(rate)))
+        history = results["history"]
+        assert len(history) == bench.HISTORY_LIMIT
+        rates = [e["workloads"]["fio_seq_write"]["events_per_sec"]
+                 for e in history]
+        assert rates == [float(r) for r in range(5, 15)]  # oldest dropped
+
+
+class TestCheckReference:
+    def test_prefers_newest_history_entry(self, bench):
+        results = {"workloads": {"fio_seq_write":
+                                 {"after": {"events_per_sec": 1.0}}}}
+        bench.append_history(results, measured(50.0))
+        bench.append_history(results, measured(75.0))
+        reference, source = bench.check_reference(results, "fio_seq_write")
+        assert reference == 75.0
+        assert source.startswith("history@")
+
+    def test_falls_back_to_after_snapshot(self, bench):
+        results = {"workloads": {"fio_seq_write":
+                                 {"after": {"events_per_sec": 42.0}}},
+                   "history": []}
+        assert bench.check_reference(results, "fio_seq_write") \
+            == (42.0, "after")
+
+    def test_unknown_workload_yields_none(self, bench):
+        assert bench.check_reference({"workloads": {}}, "nope") \
+            == (None, None)
+
+
+class TestCommittedFile:
+    def test_repo_file_has_seeded_history(self):
+        with open(os.path.join(REPO_ROOT, "BENCH_engine.json")) as handle:
+            results = json.load(handle)
+        assert 1 <= len(results["history"]) <= 10
+        newest = results["history"][-1]
+        assert set(newest) == {"commit", "timestamp", "workloads"}
+        for record in newest["workloads"].values():
+            assert record["events_per_sec"] > 0

@@ -1,0 +1,71 @@
+"""The sweep's reproducibility contract: sharded == sequential ==
+re-run, byte for byte (attribution, metric snapshot, fairness digest —
+the whole captured record)."""
+
+import json
+
+import pytest
+
+from repro.capacity import (check_expectations, demo_grid, detect_knees,
+                            run_grid)
+from repro.obs import MetricsRegistry
+from repro.capacity import register_sweep_metrics
+
+
+def canonical(cells) -> str:
+    return json.dumps(cells, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_grid(demo_grid())
+
+
+class TestByteIdentical:
+    def test_sharded_matches_sequential(self, sequential):
+        sharded = run_grid(demo_grid(), jobs=4)
+        assert canonical(sharded) == canonical(sequential)
+
+    def test_rerun_matches_first_run(self, sequential):
+        again = run_grid(demo_grid())
+        assert canonical(again) == canonical(sequential)
+
+    def test_every_view_is_pinned_not_just_digests(self, sequential):
+        sharded = run_grid(demo_grid(), jobs=2)
+        for a, b in zip(sequential, sharded):
+            assert a["attribution_ps"] == b["attribution_ps"]
+            assert a["metrics"] == b["metrics"]
+            assert a["fairness_digest"] == b["fairness_digest"]
+            assert a["digest"] == b["digest"]
+
+
+class TestDemoGridBehaviour:
+    def test_documented_expectations_hold(self, sequential):
+        spec = demo_grid()
+        knees = detect_knees(spec, sequential)
+        failures = check_expectations(spec, sequential, knees)
+        assert failures == []
+
+    def test_exactness_on_every_cell_pair(self, sequential):
+        from repro.capacity import diff_cells
+        for a in sequential:
+            for b in sequential:
+                diff = diff_cells(a, b)
+                assert diff["exact"], (a["cell_id"], b["cell_id"])
+
+
+class TestSweepMetrics:
+    def test_counts_track_the_sweep(self):
+        registry = MetricsRegistry()
+        metrics = register_sweep_metrics(registry)
+        spec = demo_grid()
+        cells = run_grid(spec, jobs=2, metrics=metrics)
+        snapshot = registry.snapshot()
+        assert snapshot["capacity.sweep.cells_planned"] == len(spec)
+        assert snapshot["capacity.sweep.cells_completed"] == len(cells)
+        assert snapshot["capacity.sweep.cells_failed"] == 0
+
+    def test_registry_shortcut_registers_surface(self):
+        registry = MetricsRegistry()
+        run_grid(demo_grid(), registry=registry)
+        assert "capacity.sweep.cells_planned" in registry.names()

@@ -1,0 +1,93 @@
+"""Grid declarations: knob validation, cell enumeration, round-trips."""
+
+import pytest
+
+from repro.capacity import (Axis, GridSpec, cell_id, demo_grid, explore_grid,
+                            make_grid)
+
+
+class TestAxis:
+    def test_rejects_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown grid knob"):
+            Axis("frobnicate", (1, 2))
+
+    def test_rejects_empty_and_duplicate_values(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            Axis("tenants", ())
+        with pytest.raises(ValueError, match="repeats a value"):
+            Axis("tenants", (4, 4))
+
+
+class TestCellId:
+    def test_canonical_rendering(self):
+        axes = [Axis("tenants", (4, 8)), Axis("log_kib", (64,))]
+        assert cell_id(axes, (8, 64)) == "tenants=8,log_kib=64"
+
+    def test_integer_floats_cannot_alias(self):
+        # drain=2.0 and a hypothetical drain=2 must produce one id.
+        axes = [Axis("drain", (2.0, 0.5))]
+        assert cell_id(axes, (2.0,)) == "drain=2"
+        assert cell_id(axes, (0.5,)) == "drain=0.5"
+
+
+class TestGridSpec:
+    def test_rejects_duplicate_axes(self):
+        with pytest.raises(ValueError, match="distinct names"):
+            GridSpec("g", [Axis("tenants", (4,)), Axis("tenants", (8,))])
+
+    def test_rejects_unknown_base_knob(self):
+        with pytest.raises(ValueError, match="unknown base knob"):
+            GridSpec("g", [Axis("tenants", (4,))], base={"bogus": 1})
+
+    def test_rejects_swept_and_pinned_knob(self):
+        with pytest.raises(ValueError, match="both swept and pinned"):
+            GridSpec("g", [Axis("tenants", (4,))], base={"tenants": 8})
+
+    def test_cells_enumerate_row_major_with_ids(self):
+        spec = GridSpec("g", [Axis("tenants", (4, 8)),
+                              Axis("log_kib", (64, 128))],
+                        base={"seed": 3})
+        cells = list(spec.cells())
+        assert [c["cell_id"] for c in cells] == [
+            "tenants=4,log_kib=64", "tenants=4,log_kib=128",
+            "tenants=8,log_kib=64", "tenants=8,log_kib=128"]
+        assert all(c["seed"] == 3 for c in cells)
+        assert len(spec) == 4 and spec.shape == (2, 2)
+
+    def test_scale_axes_need_two_ordered_values(self):
+        spec = GridSpec("g", [Axis("tenants", (4, 8)),
+                              Axis("cache_mode", ("logging", "paging")),
+                              Axis("log_kib", (64,))])
+        assert [a.name for a in spec.scale_axes()] == ["tenants"]
+
+    def test_dict_round_trip_preserves_everything(self):
+        spec = demo_grid(seed=5)
+        clone = GridSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.cell_ids() == spec.cell_ids()
+
+
+class TestNamedGrids:
+    def test_demo_grid_shape_and_expectations(self):
+        spec = demo_grid()
+        assert spec.shape == (3, 2)
+        kinds = {e["kind"] for e in spec.expectations}
+        assert kinds == {"dominant", "knee", "moved"}
+        # every expectation addresses cells/axes that exist
+        ids = set(spec.cell_ids())
+        axis_names = {a.name for a in spec.axes}
+        for expect in spec.expectations:
+            for key in ("cell", "a", "b"):
+                if key in expect:
+                    assert expect[key] in ids
+            if expect["kind"] == "knee":
+                assert expect["axis"] in axis_names
+
+    def test_explore_grid_is_larger_and_ungated(self):
+        spec = explore_grid()
+        assert len(spec) == 36
+        assert spec.expectations == []
+
+    def test_make_grid_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown grid"):
+            make_grid("nope")

@@ -10,8 +10,12 @@ optimizations must leave them bit-identical.
 
 Results live in ``BENCH_engine.json`` at the repo root. Each workload
 keeps a ``before`` snapshot (the engine as of the first benchmarked
-commit) and an ``after`` snapshot (the current engine), so the perf
-trajectory is tracked in-repo.
+commit) and an ``after`` snapshot (the current engine), and the file
+carries a bounded ``history`` list — the last ``HISTORY_LIMIT``
+recorded runs, newest last, each stamped with its commit and UTC
+timestamp — so the perf trajectory is tracked in-repo, not just its
+endpoints. ``--check`` baselines against the newest history entry
+(falling back to ``after`` for pre-history files).
 
 Usage::
 
@@ -30,8 +34,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
@@ -49,6 +55,10 @@ MIB = float(1024 * 1024)
 CHECK_TOLERANCE = 0.20
 
 SCALE_FACTOR = 512
+
+#: Recorded runs kept in BENCH_engine.json's ``history`` (oldest are
+#: dropped); bounded so the committed file cannot grow without limit.
+HISTORY_LIMIT = 10
 
 
 def _events_dispatched(env) -> int:
@@ -208,6 +218,50 @@ def measure_all() -> dict:
     return measurements
 
 
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+            timeout=10).stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 — git absent / not a checkout
+        return "unknown"
+
+
+def append_history(results: dict, measured: dict) -> None:
+    """Record this run (headline numbers only) at the end of the
+    bounded history list; oldest entries fall off past HISTORY_LIMIT."""
+    entry = {
+        "commit": _current_commit(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "workloads": {
+            name: {"events": record["events"],
+                   "events_per_sec": record["events_per_sec"],
+                   "sim_mib_per_wall_sec": record["sim_mib_per_wall_sec"],
+                   "wall_seconds": record["wall_seconds"]}
+            for name, record in measured.items()},
+    }
+    history = results.setdefault("history", [])
+    history.append(entry)
+    del history[:-HISTORY_LIMIT]
+
+
+def check_reference(results: dict, name: str):
+    """The events/sec baseline ``--check`` compares against: the newest
+    history entry that covers ``name``, else the legacy ``after``
+    snapshot. Returns ``(events_per_sec, source)`` or ``(None, None)``."""
+    for entry in reversed(results.get("history", [])):
+        record = entry.get("workloads", {}).get(name)
+        if record and record.get("events_per_sec"):
+            return (record["events_per_sec"],
+                    f"history@{entry.get('commit', '?')}")
+    after = results["workloads"].get(name, {}).get("after")
+    if after and after.get("events_per_sec"):
+        return after["events_per_sec"], "after"
+    return None, None
+
+
 def load_results() -> dict:
     if not os.path.exists(RESULTS_PATH):
         return {"schema": 1, "scale": SCALE_FACTOR, "workloads": {}}
@@ -271,13 +325,13 @@ def main(argv=None) -> int:
     if args.check:
         failures = []
         for name, record in measured.items():
-            committed = results["workloads"].get(name, {}).get("after")
-            if not committed:
+            reference, source = check_reference(results, name)
+            if reference is None:
                 continue
-            floor = committed["events_per_sec"] * (1.0 - CHECK_TOLERANCE)
+            floor = reference * (1.0 - CHECK_TOLERANCE)
             status = "ok" if record["events_per_sec"] >= floor else "REGRESSED"
             print(f"  {name}: {record['events_per_sec']:,.0f} ev/s "
-                  f"(committed {committed['events_per_sec']:,.0f}, "
+                  f"({source} {reference:,.0f}, "
                   f"floor {floor:,.0f}) {status}")
             if record["events_per_sec"] < floor:
                 failures.append(name)
@@ -298,8 +352,10 @@ def main(argv=None) -> int:
             entry["speedup_events_per_sec"] = round(
                 after["events_per_sec"] / before["events_per_sec"], 2)
     if args.update or args.baseline:
+        append_history(results, measured)
         save_results(results)
-        print(f"wrote {RESULTS_PATH}")
+        print(f"wrote {RESULTS_PATH} "
+              f"({len(results['history'])}/{HISTORY_LIMIT} history entries)")
     print_table(results)
     return 0
 

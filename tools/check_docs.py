@@ -7,9 +7,10 @@ tree defines (``nvcache+ssd`` covers nvmm/block.ssd0/kernel/fs/core,
 :class:`~repro.block.HddDevice` adds ``block.hdd0.*``), unions their
 registry names, and fails if any exact name is missing from the scanned
 docs (``docs/OBSERVABILITY.md``, ``docs/MULTITENANCY.md`` which owns
-the multi-tenant vocabulary, and ``docs/FUZZING.md`` which owns
-``fuzz.*``). The reverse direction is checked too: a documented name
-that no stack registers is stale and also fails.
+the multi-tenant vocabulary, ``docs/FUZZING.md`` which owns ``fuzz.*``,
+``docs/POLICIES.md``, and ``docs/CAPACITY.md`` which owns
+``capacity.*``). The reverse direction is checked too: a documented
+name that no stack registers is stale and also fails.
 
 The tracing vocabulary is held to the same contract: every span name in
 ``repro.sim.SPAN_NAMES`` and every critical-path segment in
@@ -34,16 +35,18 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Scanned docs. OBSERVABILITY.md is the single-tenant vocabulary;
 #: MULTITENANCY.md owns the ``tenancy.*`` / ``core.qos.*`` surface and
 #: the QoS wait segments; FUZZING.md owns ``fuzz.*``; POLICIES.md owns
-#: ``core.paging.*`` and the paging-mode trace names. Union of all
-#: four = the documented set.
+#: ``core.paging.*`` and the paging-mode trace names; CAPACITY.md owns
+#: ``capacity.*``. Union of all five = the documented set.
 DOC_PATHS = [os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md"),
              os.path.join(REPO_ROOT, "docs", "MULTITENANCY.md"),
              os.path.join(REPO_ROOT, "docs", "FUZZING.md"),
-             os.path.join(REPO_ROOT, "docs", "POLICIES.md")]
+             os.path.join(REPO_ROOT, "docs", "POLICIES.md"),
+             os.path.join(REPO_ROOT, "docs", "CAPACITY.md")]
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.block import HddDevice, SsdDevice  # noqa: E402
+from repro.capacity import register_sweep_metrics  # noqa: E402
 from repro.faults import BlockFaultInjector  # noqa: E402
 from repro.fuzz import FuzzEngine  # noqa: E402
 from repro.harness.systems import Scale, build_stack  # noqa: E402
@@ -57,8 +60,8 @@ from repro.tenancy.clients import TenantSpec  # noqa: E402
 #: least two more segments. Anchoring on the layer set keeps module
 #: paths (`repro.fs.ext4`) out of the documented-name set.
 DOC_NAME_PATTERN = re.compile(
-    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs|tenancy|fuzz)"
-    r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+    r"`((?:nvmm|block|kernel|fs|core|faults|parallel|obs|tenancy|fuzz"
+    r"|capacity)\.[a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 #: Matches backticked span/segment names: exactly two segments with a
 #: tracing layer prefix (`libc.pwrite`, `block.queue_wait`). Metric
@@ -112,6 +115,11 @@ def registered_names() -> set:
     registry = MetricsRegistry()
     FuzzEngine(registry=registry)
     names.update(registry.names())
+    # Capacity-sweep self-metrics live under capacity.sweep.* and exist
+    # once a sweep attaches to a registry (repro.capacity).
+    registry = MetricsRegistry()
+    register_sweep_metrics(registry)
+    names.update(registry.names())
     return names
 
 
@@ -150,7 +158,7 @@ def main(argv=None) -> int:
     if undocumented:
         print("FAIL: registered metrics missing from the docs "
               "(OBSERVABILITY.md / MULTITENANCY.md / FUZZING.md / "
-              "POLICIES.md):", file=sys.stderr)
+              "POLICIES.md / CAPACITY.md):", file=sys.stderr)
         for name in undocumented:
             print(f"  {name}", file=sys.stderr)
     if stale:

@@ -40,10 +40,18 @@ Suites (``--suite``, repeatable):
   --check``) proves the five durability invariants hold for the page
   table, and the mode-equivalence property tests pin logging/paging
   byte-identity after recovery.
+- ``capacity`` — the capacity-explorer gate (docs/CAPACITY.md):
+  **required** — ``tools/capacity_report.py --check --jobs 2`` sweeps
+  the seeded demo grid sharded over two workers and asserts its
+  documented expectations (dominant segments, the tenant-axis knee,
+  where latency moved when the log doubled) plus the standing
+  invariants (every cell completes, every diff exact); the
+  sequential-vs-sharded byte-identity pins live in
+  ``tests/capacity/test_determinism.py`` inside tier 1.
 - ``bench``   — ``tools/bench_engine.py --check``: **required** — exit 1
-  on a >20% events/sec regression against the committed
-  ``BENCH_engine.json``. The threshold is wide enough to clear
-  shared-runner noise; a genuine engine slowdown must not merge
+  on a >20% events/sec regression against the newest history entry in
+  the committed ``BENCH_engine.json``. The threshold is wide enough to
+  clear shared-runner noise; a genuine engine slowdown must not merge
   silently (re-baseline deliberately with ``--update`` instead).
 - ``all``     — everything above, in that order.
 
@@ -234,6 +242,10 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
                      "-q"),
                  env_extra=dict(SRC_ENV), timeout=600),
         ],
+        "capacity": [Step("capacity-grid",
+                          _py("tools/capacity_report.py", "--check",
+                              "--jobs", "2"),
+                          env_extra=dict(SRC_ENV), timeout=600)],
         "bench": [Step("engine-bench", _py("tools/bench_engine.py",
                                            "--check"),
                        env_extra=dict(SRC_ENV))],
@@ -241,7 +253,8 @@ def suite_steps(suite: str, jobs: int) -> List[Step]:
     if suite == "all":
         return (suites["lint"] + suites["tier1"] + suites["docs"]
                 + suites["crash"] + suites["sweeps"] + suites["tenancy"]
-                + suites["fuzz"] + suites["policy"] + suites["bench"])
+                + suites["fuzz"] + suites["policy"] + suites["capacity"]
+                + suites["bench"])
     if suite not in suites:
         raise KeyError(suite)
     return suites[suite]
@@ -366,7 +379,8 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--suite", action="append", required=True,
                         choices=["lint", "tier1", "docs", "crash", "sweeps",
-                                 "tenancy", "fuzz", "policy", "bench", "all"],
+                                 "tenancy", "fuzz", "policy", "capacity",
+                                 "bench", "all"],
                         help="suite to run (repeatable)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for fan-out suites "

@@ -10,9 +10,15 @@ the recorded causal span trees (docs/OBSERVABILITY.md, Tracing):
   critical-path attribution table, and the p99 exemplar trace,
 - ``--list`` every root span, ``--slowest N`` the N slowest roots,
 - ``--trace ID`` one trace as an indented tree with per-segment costs,
-- ``--attribution`` the per-(layer, segment) critical-path table alone,
+- ``--attribution`` the per-(layer, segment) critical-path table alone;
+  with ``--json`` it emits the shared ``repro.attribution/1`` payload
+  (integer-picosecond segments, docs/CAPACITY.md) that the capacity
+  explorer's diff engine consumes,
 - ``--export trace.json`` the whole recording as Perfetto/Chrome JSON
   (load it at https://ui.perfetto.dev), ``--json`` a machine summary.
+
+Exit codes: 0 success, 2 usage or runtime error (1 is reserved for
+check-style gates, which this tool does not run).
 
 Usage::
 
@@ -34,6 +40,7 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.capacity import attribution_payload, to_ps  # noqa: E402
 from repro.harness.systems import SYSTEM_NAMES, Scale, build_stack  # noqa: E402
 from repro.units import KIB, MIB, fmt_time  # noqa: E402
 from repro.workloads.fio import FioJob, run_fio  # noqa: E402
@@ -181,6 +188,18 @@ def main(argv=None) -> int:
         print(f"wrote {args.export} ({len(tracer.spans)} spans, "
               f"{len(tracer.events)} flat events)")
         return 0
+    if args.attribution and args.json:
+        # The machine form of the attribution table: the same
+        # repro.attribution/1 schema the capacity explorer captures per
+        # grid cell, so diff tooling consumes either source unchanged.
+        payload = attribution_payload(
+            {segment: to_ps(cost)
+             for segment, cost in tracer.attribution().items()},
+            source=f"trace_report:{args.system}:{args.rw}",
+            spans=len(tracer.spans),
+            dropped=tracer.dropped)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if args.json:
         print(json.dumps(json_summary(args, tracer, result), indent=2,
                          sort_keys=True))
@@ -241,4 +260,10 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # downstream closed the pipe (e.g. | head)
+    except Exception as exc:  # noqa: BLE001 — CLI boundary
+        print(f"trace_report failed: {exc}", file=sys.stderr)
+        sys.exit(2)
